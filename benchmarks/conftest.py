@@ -1,0 +1,29 @@
+"""Shared configuration for the benchmark harness.
+
+Every paper table/figure has one benchmark that regenerates it and prints
+the rows/series (visible with ``pytest benchmarks/ --benchmark-only -s``).
+Scales are environment-tunable so CI can run quick versions:
+
+* ``REPRO_BENCH_MATRICES`` — matrices per Table-2 configuration
+  (default 30, the paper's count).
+* ``REPRO_BENCH_MAX_DIM`` — largest hypercube dimension for Figure 2
+  (default 15, the paper's axis).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_matrices() -> int:
+    """Matrices per Table-2 configuration."""
+    return int(os.environ.get("REPRO_BENCH_MATRICES", "30"))
+
+
+@pytest.fixture(scope="session")
+def bench_max_dim() -> int:
+    """Largest hypercube dimension for the Figure-2 sweep."""
+    return int(os.environ.get("REPRO_BENCH_MAX_DIM", "15"))

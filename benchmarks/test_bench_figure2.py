@@ -1,0 +1,48 @@
+"""Benchmark + regeneration of **Figure 2** (relative communication cost).
+
+Regenerates all three panels — communication cost of one sweep relative
+to the un-pipelined BR algorithm, for d in [5, REPRO_BENCH_MAX_DIM] and
+m = 2^18 / 2^23 / 2^32 on the paper's machine (Ts=1000, Tw=100,
+all-port) — and prints the tables and ASCII charts.
+
+Run::
+
+    pytest benchmarks/test_bench_figure2.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.figure2 import (
+    PAPER_FIGURE2_M,
+    compute_figure2_panel,
+    render_figure2,
+)
+
+
+@pytest.mark.parametrize("panel_idx,m", list(enumerate(PAPER_FIGURE2_M)))
+def test_figure2_panel(benchmark, bench_max_dim, panel_idx, m):
+    """Time one panel's full computation and print its series."""
+    panel = benchmark.pedantic(
+        compute_figure2_panel,
+        kwargs=dict(m=m, dims=range(5, bench_max_dim + 1)),
+        rounds=1, iterations=1)
+    print()
+    print(render_figure2([panel], chart=True))
+
+    # reproduction-band assertions (the paper's qualitative shape)
+    for i in range(len(panel.series["lower-bound"])):
+        lb = panel.series["lower-bound"][i].relative_cost
+        pbr = panel.series["permuted-br"][i].relative_cost
+        d4 = panel.series["degree4"][i].relative_cost
+        br = panel.series["br-pipelined"][i].relative_cost
+        assert lb <= min(pbr, d4) * (1 + 1e-9)
+        assert 0.40 <= br <= 0.65          # "about one half"
+        assert d4 <= 0.45                  # "about one forth"
+    if panel_idx == 2:
+        # panel (c): deep everywhere; permuted-BR within 1.6x of the bound
+        for pt, lbpt in zip(panel.series["permuted-br"],
+                            panel.series["lower-bound"]):
+            assert pt.deep
+            assert pt.relative_cost <= 1.6 * lbpt.relative_cost + 0.05

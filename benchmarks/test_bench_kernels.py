@@ -1,0 +1,101 @@
+"""Micro-benchmarks of the library's hot kernels.
+
+Not tied to a paper table — these justify implementation choices (all
+vectorised NumPy paths) and make performance regressions visible:
+
+* batched rotation kernel throughput,
+* link-sequence generation (positional vs recursive forms),
+* sliding-window statistics (the inner loop of the optimal-Q search),
+* sweep pair-coverage validation,
+* optimal pipelining-degree search for a large phase.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ccube import PAPER_MACHINE, SequencePhaseCostModel
+from repro.jacobi import make_symmetric_test_matrix, rotate_pairs
+from repro.orderings import (
+    br_sequence_array,
+    check_pair_coverage,
+    get_ordering,
+    permuted_br_sequence_array,
+    window_stats,
+)
+from repro.orderings.degree4 import degree4_sequence_array
+
+
+class TestRotationKernel:
+    def test_batched_rotations_512_pairs(self, benchmark):
+        rng = np.random.default_rng(0)
+        A = rng.normal(size=(1024, 1024))
+        U = np.eye(1024)
+        ii = np.arange(0, 1024, 2, dtype=np.intp)
+        jj = ii + 1
+
+        def run():
+            rotate_pairs(A, U, ii, jj)
+
+        benchmark(run)
+
+    def test_eigensolve_m128_d3(self, benchmark):
+        A = make_symmetric_test_matrix(128, rng=1)
+        from repro.jacobi import ParallelOneSidedJacobi
+
+        solver = ParallelOneSidedJacobi(get_ordering("degree4", 3),
+                                        tol=1e-8)
+        result = benchmark.pedantic(solver.solve, args=(A,),
+                                    rounds=1, iterations=1)
+        assert result.converged
+
+
+class TestSequenceGeneration:
+    @pytest.mark.parametrize("e", [10, 15])
+    def test_br(self, benchmark, e):
+        seq = benchmark(br_sequence_array, e)
+        assert seq.size == (1 << e) - 1
+
+    @pytest.mark.parametrize("e", [10, 15])
+    def test_permuted_br(self, benchmark, e):
+        seq = benchmark(permuted_br_sequence_array, e)
+        assert seq.size == (1 << e) - 1
+
+    @pytest.mark.parametrize("e", [10, 15])
+    def test_degree4(self, benchmark, e):
+        seq = benchmark(degree4_sequence_array, e)
+        assert seq.size == (1 << e) - 1
+
+
+class TestWindowStats:
+    def test_window_stats_e15_q64(self, benchmark):
+        seq = permuted_br_sequence_array(15)
+
+        def run():
+            return window_stats(seq, 64)
+
+        distinct, mults = benchmark(run)
+        assert distinct.size == seq.size - 63
+
+
+class TestValidation:
+    @pytest.mark.parametrize("d", [4, 6])
+    def test_pair_coverage(self, benchmark, d):
+        ordering = get_ordering("br", d)
+        schedule = ordering.sweep_schedule()
+        report = benchmark(check_pair_coverage, schedule)
+        assert report.ok
+
+
+class TestOptimalQ:
+    def test_optimal_q_search_e12(self, benchmark):
+        seq = permuted_br_sequence_array(12)
+
+        def run():
+            model = SequencePhaseCostModel(seq, PAPER_MACHINE,
+                                           2.0 ** 30, q_max=4096)
+            return model.optimal()
+
+        res = benchmark(run)
+        assert res.Q >= 1

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Communication-cost study: when does each ordering win?
+
+Reproduces the Figure-2 methodology and extends it along the axes the
+paper's conclusions call out:
+
+* machine balance — sweep the start-up/transmission ratio ``Ts/Tw`` to
+  watch the optimum move between deep pipelining (permuted-BR wins) and
+  shallow pipelining (degree-4 wins);
+* port count — all-port vs k-port vs one-port (where pipelining cannot
+  help at all);
+* per-phase detail — the optimal pipelining degree chosen for every
+  exchange phase of a sweep.
+
+Run::
+
+    python examples/communication_cost_study.py [--d 8] [--m-exp 20]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import (
+    MachineParams,
+    get_ordering,
+    lower_bound_sweep_cost,
+    sweep_communication_cost,
+    unpipelined_sweep_cost,
+)
+from repro.analysis import render_table
+
+ORDERINGS = ("br", "permuted-br", "degree4")
+
+
+def sweep_machine_balance(d: int, m: int) -> None:
+    """Relative sweep cost as the machine's Ts/Tw balance varies."""
+    print(f"\n== Sensitivity to start-up cost (d={d}, m=2^"
+          f"{m.bit_length() - 1}, Tw=100, all-port) ==")
+    rows = []
+    for ts in (0.0, 1e2, 1e4, 1e6, 1e8, 1e10):
+        machine = MachineParams(ts=ts, tw=100.0)
+        ref = unpipelined_sweep_cost(d, m, machine)
+        row = [f"{ts:g}"]
+        for name in ORDERINGS:
+            bd = sweep_communication_cost(get_ordering(name, d), m, machine)
+            mode = "D" if bd.deep_in_largest_phase else "s"
+            row.append(f"{bd.total / ref:.3f} {mode}")
+        row.append(f"{lower_bound_sweep_cost(d, m, machine).total / ref:.3f}")
+        rows.append(row)
+    print(render_table(["Ts"] + list(ORDERINGS) + ["lower bound"], rows))
+    print("(D = top phase pipelined deep, s = shallow; large Ts pushes the")
+    print(" optimum towards few, large messages — pipelining stops paying)")
+
+
+def sweep_ports(d: int, m: int) -> None:
+    """Relative sweep cost vs the number of simultaneous ports."""
+    print(f"\n== Sensitivity to port count (d={d}, m=2^"
+          f"{m.bit_length() - 1}, Ts=1000, Tw=100) ==")
+    rows = []
+    for ports in (1, 2, 4, None):
+        machine = MachineParams(ts=1000.0, tw=100.0, ports=ports)
+        ref = unpipelined_sweep_cost(d, m, machine)
+        row = ["all" if ports is None else str(ports)]
+        for name in ORDERINGS:
+            bd = sweep_communication_cost(get_ordering(name, d), m, machine)
+            row.append(f"{bd.total / ref:.3f}")
+        rows.append(row)
+    print(render_table(["ports"] + list(ORDERINGS), rows))
+    print("(one port: no communication parallelism exists, every ordering")
+    print(" collapses to the plain CC-cube cost — §2.4's motivation)")
+
+
+def per_phase_detail(d: int, m: int) -> None:
+    """The optimiser's choice for every exchange phase of one sweep."""
+    print(f"\n== Per-phase optimal pipelining (permuted-BR, d={d}, "
+          f"m=2^{m.bit_length() - 1}) ==")
+    bd = sweep_communication_cost(get_ordering("permuted-br", d), m,
+                                  MachineParams())
+    rows = [
+        [p.span, p.K, p.Q, "deep" if p.deep else "shallow",
+         f"{p.speedup:.2f}x", f"{p.cost:.3e}"]
+        for p in bd.phases
+    ]
+    print(render_table(["phase e", "K", "Q*", "mode", "speed-up", "cost"],
+                       rows))
+    print(f"barrier transitions (divisions + last): {bd.barrier_cost:.3e}")
+    print(f"total sweep communication cost:         {bd.total:.3e}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--d", type=int, default=8)
+    parser.add_argument("--m-exp", type=int, default=20,
+                        help="log2 of the matrix dimension")
+    args = parser.parse_args()
+    m = 1 << args.m_exp
+    sweep_machine_balance(args.d, m)
+    sweep_ports(args.d, m)
+    per_phase_detail(args.d, m)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Convergence study: do the new orderings converge like BR?
+
+The paper's Table 2 answers "do the rebalanced orderings pay for their
+communication advantage with extra sweeps?" — they do not.  This example
+reruns that experiment at configurable size and also plots (ASCII) the
+per-sweep orthogonality-defect decay, making the quadratic convergence of
+the one-sided method visible.
+
+Run::
+
+    python examples/convergence_study.py [--matrices 10] [--max-m 32]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import ParallelOneSidedJacobi, get_ordering
+from repro.analysis import render_ascii_chart, render_table
+from repro.analysis.table2 import compute_table2, default_configs, render_table2
+from repro.jacobi import make_symmetric_test_matrix
+
+
+def decay_chart(m: int, d: int, seed: int, tol: float) -> None:
+    """Plot the off-diagonal decay per sweep for each ordering."""
+    A = make_symmetric_test_matrix(m, rng=seed)
+    series = {}
+    for name in ("br", "permuted-br", "degree4"):
+        res = ParallelOneSidedJacobi(get_ordering(name, d),
+                                     tol=tol).solve(A)
+        series[name] = [float(np.log10(x)) for x in res.off_history]
+    longest = max(len(v) for v in series.values())
+    for v in series.values():
+        v.extend([v[-1]] * (longest - len(v)))
+    print(f"\n== log10(orthogonality defect) per sweep "
+          f"(m={m}, P={1 << d}, one matrix) ==")
+    print(render_ascii_chart(
+        list(range(1, longest + 1)), series,
+        y_min=min(min(v) for v in series.values()) - 0.5,
+        y_max=0.0, height=14))
+    print("(quadratic convergence: the defect roughly squares each sweep,")
+    print(" identically for all three orderings)")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--matrices", type=int, default=10,
+                        help="matrices per configuration (paper used 30)")
+    parser.add_argument("--max-m", type=int, default=32)
+    parser.add_argument("--tol", type=float, default=1e-9)
+    parser.add_argument("--seed", type=int, default=1998)
+    args = parser.parse_args()
+
+    rows = compute_table2(configs=default_configs(args.max_m),
+                          num_matrices=args.matrices, tol=args.tol,
+                          seed=args.seed)
+    print(render_table2(rows))
+    spread = max(r.spread for r in rows)
+    print(f"\nworst-case spread across orderings: {spread:.2f} sweeps "
+          f"({args.matrices} matrices per config, tol {args.tol:g})")
+    print("paper's conclusion (§3.4): 'the convergence rates of the "
+          "proposed orderings\nappear to be practically the same as that "
+          "of the BR ordering'")
+
+    decay_chart(m=min(args.max_m, 32), d=2, seed=args.seed, tol=1e-12)
+
+
+if __name__ == "__main__":
+    main()

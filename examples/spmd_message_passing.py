@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""SPMD message-passing demo: the algorithm as a real machine runs it.
+
+The other examples drive a globally-vectorised simulator.  This one runs
+the *per-rank* program — each of the ``2**d`` ranks owns two column
+blocks, rotates its local pairs, and exchanges blocks with its hypercube
+link partners through an mpi4py-style communicator
+(:mod:`repro.simulator.comm`).  On a real multicomputer the identical
+program structure would run under MPI.
+
+It also shows the communicator primitives on their own (sendrecv along
+each cube dimension, allreduce) and verifies the SPMD eigensolver agrees
+*bitwise* with the vectorised solver.
+
+Run::
+
+    python examples/spmd_message_passing.py [--d 2] [--m 32]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import ParallelOneSidedJacobi, get_ordering
+from repro.jacobi import make_symmetric_test_matrix
+from repro.jacobi.spmd import run_spmd_jacobi
+from repro.simulator import SimWorld
+
+
+def primitives_demo(d: int) -> None:
+    """Tour the communicator: dimension-wise exchanges and reductions."""
+    print(f"== communicator primitives on a {1 << d}-rank world ==")
+
+    def program(comm):
+        # walk every cube dimension: exchange rank ids with the partner
+        trace = []
+        for link in range(d):
+            partner = comm.rank ^ (1 << link)
+            got = comm.sendrecv(comm.rank, partner)
+            trace.append(got)
+        # global agreement on the maximum rank
+        biggest = comm.allreduce(comm.rank, op=max)
+        return trace, biggest
+
+    results = SimWorld(1 << d).run(program)
+    for rank, (trace, biggest) in enumerate(results):
+        partners = [rank ^ (1 << l) for l in range(d)]
+        assert trace == partners
+        assert biggest == (1 << d) - 1
+    print(f"  every rank exchanged with its {d} link partners and agreed "
+          f"max rank = {(1 << d) - 1}")
+
+
+def eigensolver_demo(d: int, m: int, seed: int) -> None:
+    """Run the per-rank Jacobi program and cross-check it bitwise."""
+    print(f"\n== SPMD one-sided Jacobi (d={d}, m={m}) ==")
+    A = make_symmetric_test_matrix(m, rng=seed)
+    ordering = get_ordering("degree4", d)
+
+    spmd = run_spmd_jacobi(A, ordering, tol=1e-10)
+    ref = ParallelOneSidedJacobi(ordering, tol=1e-10).solve(A)
+    eigh = np.linalg.eigh(A)[0]
+
+    print(f"  sweeps: spmd={spmd.sweeps}, vectorised={ref.sweeps}")
+    print(f"  max |eig - eigh|: {np.abs(spmd.eigenvalues - eigh).max():.2e}")
+    identical = (np.array_equal(spmd.eigenvalues, ref.eigenvalues)
+                 and np.array_equal(spmd.eigenvectors, ref.eigenvectors))
+    print(f"  bitwise identical to the vectorised solver: {identical}")
+    print("  (both apply the same disjoint rotations in the same round")
+    print("   order; any routing mistake would desynchronise them)")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--d", type=int, default=2)
+    parser.add_argument("--m", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=3)
+    args = parser.parse_args()
+    if args.m % (1 << (args.d + 1)) != 0:
+        parser.error("m must be divisible by 2**(d+1) for the SPMD demo")
+    primitives_demo(args.d)
+    eigensolver_demo(args.d, args.m, args.seed)
+
+
+if __name__ == "__main__":
+    main()

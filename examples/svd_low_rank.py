@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Low-rank approximation with the parallel one-sided Jacobi SVD.
+
+The BR ordering family was originally proposed for the singular value
+decomposition (Gao & Thomas, the paper's ref [7]); the one-sided method
+computes the SVD and the symmetric eigenproblem with the *same* parallel
+machinery.  This example runs the SVD of a synthetic low-rank-plus-noise
+matrix on the simulated hypercube, truncates it, and reports the
+compression quality — the workload a downstream user of this library
+would actually run.
+
+Run::
+
+    python examples/svd_low_rank.py [--n 96] [--m 32] [--rank 5] [--d 2]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import get_ordering
+from repro.analysis import render_table
+from repro.jacobi import parallel_svd
+
+
+def make_low_rank_plus_noise(n: int, m: int, rank: int, noise: float,
+                             rng: np.random.Generator) -> np.ndarray:
+    """A rank-``rank`` signal with decaying strengths plus dense noise."""
+    strengths = 10.0 * 0.5 ** np.arange(rank)
+    signal = sum(s * np.outer(rng.standard_normal(n),
+                              rng.standard_normal(m)) / np.sqrt(n * m)
+                 for s, _ in zip(strengths, range(rank)))
+    return signal + noise * rng.standard_normal((n, m)) / np.sqrt(n)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=96)
+    parser.add_argument("--m", type=int, default=32)
+    parser.add_argument("--rank", type=int, default=5)
+    parser.add_argument("--noise", type=float, default=0.02)
+    parser.add_argument("--d", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    rng = np.random.default_rng(args.seed)
+    A = make_low_rank_plus_noise(args.n, args.m, args.rank, args.noise, rng)
+
+    ordering = get_ordering("degree4", args.d)
+    res = parallel_svd(A, ordering, tol=1e-11)
+    ref = np.linalg.svd(A, compute_uv=False)
+
+    print(f"SVD of a {args.n}x{args.m} rank-{args.rank}+noise matrix on a "
+          f"simulated {1 << args.d}-node cube ({ordering.name} ordering)")
+    print(f"  sweeps: {res.sweeps}, max |sigma - lapack|: "
+          f"{np.abs(res.S - ref).max():.2e}")
+    print(f"  simulated communication time: {res.trace.total_cost:,.0f} "
+          f"({res.trace.num_steps} transitions)")
+
+    rows = []
+    for k in (1, args.rank, args.rank * 2):
+        k = min(k, args.m)
+        Ak = (res.U[:, :k] * res.S[:k]) @ res.Vt[:k]
+        rel_err = np.linalg.norm(A - Ak) / np.linalg.norm(A)
+        stored = k * (args.n + args.m + 1)
+        ratio = stored / (args.n * args.m)
+        rows.append([k, f"{rel_err:.4f}", f"{ratio:.1%}"])
+    print(render_table(["k", "relative error", "storage vs dense"], rows,
+                       title="Truncated reconstructions"))
+    print(f"(singular spectrum: "
+          + ", ".join(f"{s:.3f}" for s in res.S[:args.rank + 2]) + ", ...)")
+    print("note the elbow after the signal rank — the noise floor is "
+          "where truncation stops paying")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+All metadata lives in ``pyproject.toml``; this file exists because the
+offline build environment lacks the ``wheel`` package, which modern
+PEP-517 editable installs require.  ``pip install -e .`` then uses the
+``setup.py develop`` path, which works with plain setuptools.
+"""
+
+from setuptools import setup
+
+setup()

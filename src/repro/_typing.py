@@ -1,0 +1,48 @@
+"""Shared type aliases used across :mod:`repro`.
+
+Centralising the aliases keeps signatures short and consistent.  The
+aliases are intentionally loose (``Sequence[int]`` rather than a dedicated
+class) so that plain tuples, lists and NumPy integer arrays can be passed
+anywhere a link sequence is expected.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "LinkSeq",
+    "Node",
+    "Link",
+    "BlockId",
+    "FloatArray",
+    "IntArray",
+    "SeedLike",
+]
+
+#: A sequence of hypercube link (dimension) identifiers.  The t-th element
+#: names the dimension used by the t-th transition of an exchange phase.
+LinkSeq = Sequence[int]
+
+#: A hypercube node label in ``[0, 2**d)``.
+Node = int
+
+#: A hypercube link (dimension) identifier in ``[0, d)``.
+Link = int
+
+#: Identifier of a column block (``[0, 2**(d+1))``).
+BlockId = int
+
+#: A NumPy array of floats (``float64`` unless stated otherwise).
+FloatArray = np.ndarray
+
+#: A NumPy array of integers.
+IntArray = np.ndarray
+
+#: Anything acceptable to :func:`numpy.random.default_rng`.
+SeedLike = Union[int, np.random.Generator, None]
+
+#: An immutable link sequence as stored by the ordering classes.
+FrozenLinkSeq = Tuple[int, ...]

@@ -1,0 +1,61 @@
+"""Experiment drivers regenerating every table and figure of the paper."""
+
+from .calibration import (
+    CalibrationRow,
+    compute_calibration,
+    render_calibration,
+    sweeps_under_criterion,
+)
+from .crossover import (
+    CrossoverPoint,
+    compute_crossover_table,
+    crossover_matrix_size,
+    render_crossover_table,
+    winner_for,
+)
+from .appendix import (
+    AppendixReport,
+    render_appendix,
+    theorem2_bound,
+    theorem3_ratio,
+    verify_appendix,
+)
+from .figure2 import (
+    Figure2Panel,
+    Figure2Point,
+    PAPER_FIGURE2_M,
+    compute_figure2,
+    compute_figure2_panel,
+    render_figure2,
+)
+from .report import render_ascii_chart, render_table
+from .timeline import render_link_timeline, render_phase_timelines
+from .table1 import (
+    PAPER_TABLE1_ALPHA,
+    Table1Row,
+    compute_table1,
+    render_table1,
+)
+from .table2 import (
+    PAPER_TABLE2_CONFIGS,
+    Table2Row,
+    compute_table2,
+    default_configs,
+    render_table2,
+)
+
+__all__ = [
+    "compute_table1", "render_table1", "Table1Row", "PAPER_TABLE1_ALPHA",
+    "compute_table2", "render_table2", "Table2Row", "PAPER_TABLE2_CONFIGS",
+    "default_configs",
+    "compute_figure2", "compute_figure2_panel", "render_figure2",
+    "Figure2Panel", "Figure2Point", "PAPER_FIGURE2_M",
+    "verify_appendix", "render_appendix", "theorem2_bound", "theorem3_ratio",
+    "AppendixReport",
+    "render_table", "render_ascii_chart",
+    "CrossoverPoint", "winner_for", "crossover_matrix_size",
+    "compute_crossover_table", "render_crossover_table",
+    "CalibrationRow", "sweeps_under_criterion", "compute_calibration",
+    "render_calibration",
+    "render_link_timeline", "render_phase_timelines",
+]

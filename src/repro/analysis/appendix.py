@@ -1,0 +1,240 @@
+"""Numerical verification of the paper's appendix (Lemmas 2-6, Thms 2-3).
+
+The appendix analyses ``alpha(D_e^{p-BR})`` for ``e - 1 = 2**S`` by
+book-keeping how many repetitions of each link are *fixed* by each
+transformation:
+
+* ``p_k(i)`` — repetitions of link ``i`` not yet finalised after
+  transformation ``k`` (located in regions untouched by transformations
+  ``0..k``), for ``i in [0, (e-1)/2**(k+1))``; Lemma 2:
+  ``p_k(i) = 2**(e-2-k-i)``.
+* ``r_k(i)`` — repetitions of link ``i`` fixed by transformation ``k``
+  inside the canonical second ``(e-k-1)``-subsequence; Lemma 3:
+  ``r_k(i) = 2**(e - (e-1)/2**k + i - k - 1)``.
+* ``N_k = max_i r_k(i)`` (Lemma 4) obeys the bounds of Lemmas 5-6, giving
+  Theorem 2's bound
+  ``alpha <= 2**e/(e-1) + 2**(e-2)/(e-1) - 2**e/(e-1)**2``,
+  which tends to 1.25x the lower bound ``(2**e - 1)/e`` (Theorem 3).
+
+This module measures ``p_k`` and ``r_k`` directly from the transformation
+snapshots of our construction and checks every formula, then checks the
+theorem bound against the measured alpha.  All checks run in the
+test-suite for ``e in {5, 9, 17}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import OrderingError
+from ..orderings.br import br_sequence_array
+from ..orderings.metrics import alpha, alpha_lower_bound
+from ..orderings.permuted_br import transformation_table
+from .report import render_table
+
+__all__ = [
+    "transformation_snapshots",
+    "measured_p",
+    "measured_r",
+    "lemma2_check",
+    "lemma3_check",
+    "lemma4_check",
+    "theorem2_bound",
+    "theorem2_check",
+    "theorem3_ratio",
+    "AppendixReport",
+    "verify_appendix",
+    "render_appendix",
+]
+
+
+def _require_power_case(e: int) -> int:
+    """The appendix assumes ``e - 1 = 2**S``; return ``S``."""
+    s = (e - 1).bit_length() - 1
+    if e < 3 or (1 << s) != e - 1:
+        raise OrderingError(
+            f"the appendix analysis requires e - 1 to be a power of two, "
+            f"got e={e}")
+    return s
+
+
+def transformation_snapshots(e: int) -> List[np.ndarray]:
+    """The sequence after each permuted-BR transformation.
+
+    ``snapshots[0]`` is ``D_e^BR``; ``snapshots[k+1]`` the state after
+    transformation ``k``; the last snapshot is ``D_e^{p-BR}``.
+    """
+    seq = br_sequence_array(e).copy()
+    snaps = [seq.copy()]
+    for k, level_plan in enumerate(transformation_table(e)):
+        width = 1 << (e - k - 1)
+        for j, perm in level_plan:
+            lo = j * width
+            seq[lo:lo + width - 1] = perm.apply_array(seq[lo:lo + width - 1])
+        snaps.append(seq.copy())
+    return snaps
+
+
+def _untouched_mask(e: int, k: int) -> np.ndarray:
+    """Positions in even regions at every level ``1..k+1`` (untouched by
+    transformations ``0..k``)."""
+    n = (1 << e) - 1
+    pos = np.arange(n, dtype=np.int64)
+    mask = np.ones(n, dtype=bool)
+    for lvl in range(1, k + 2):
+        width = 1 << (e - lvl)
+        region = pos // width
+        mask &= region % 2 == 0
+    return mask
+
+
+def measured_p(e: int, k: int) -> List[int]:
+    """Measured ``p_k(i)`` for ``i in [0, (e-1)//2**(k+1))``.
+
+    ``k = -1`` measures the raw BR histogram (the appendix's base case).
+    """
+    _require_power_case(e)
+    snaps = transformation_snapshots(e)
+    cur = snaps[k + 1]
+    mask = _untouched_mask(e, k) if k >= 0 else np.ones(cur.size, dtype=bool)
+    hi = (e - 1) // (1 << (k + 1))
+    return [int(((cur == i) & mask).sum()) for i in range(hi)]
+
+
+def measured_r(e: int, k: int) -> List[int]:
+    """Measured ``r_k(i)``: counts inside the canonical 2nd
+    ``(e-k-1)``-subsequence after transformation ``k``."""
+    _require_power_case(e)
+    snaps = transformation_snapshots(e)
+    cur = snaps[k + 1]
+    width = 1 << (e - k - 1)
+    region = cur[width:2 * width - 1]  # region index 1 at level k+1
+    hi = (e - 1) // (1 << (k + 1))
+    return [int((region == i).sum()) for i in range(hi)]
+
+
+def lemma2_check(e: int) -> bool:
+    """Lemma 2: ``p_k(i) = 2**(e-2-k-i)`` for every applicable (k, i)."""
+    s = _require_power_case(e)
+    for k in range(-1, s):
+        hi = (e - 1) // (1 << (k + 1))
+        expected = [1 << (e - 2 - k - i) for i in range(hi)]
+        if measured_p(e, k) != expected:
+            return False
+    return True
+
+
+def lemma3_check(e: int) -> bool:
+    """Lemma 3: ``r_k(i) = 2**(e - (e-1)/2**k + i - k - 1)``."""
+    s = _require_power_case(e)
+    for k in range(s):
+        hi = (e - 1) // (1 << (k + 1))
+        expected = [1 << (e - (e - 1) // (1 << k) + i - k - 1)
+                    for i in range(hi)]
+        if measured_r(e, k) != expected:
+            return False
+    return True
+
+
+def lemma4_check(e: int) -> bool:
+    """Lemma 4: ``N_k = max_i r_k(i) = 2**(e - (e-1)/2**(k+1) - k - 2)``."""
+    s = _require_power_case(e)
+    for k in range(s):
+        expected = 1 << (e - (e - 1) // (1 << (k + 1)) - k - 2)
+        if max(measured_r(e, k)) != expected:
+            return False
+    return True
+
+
+def theorem2_bound(e: int) -> float:
+    """Theorem 2's bound on ``alpha(D_e^{p-BR})``:
+    ``2**e/(e-1) + 2**(e-2)/(e-1) - 2**e/(e-1)**2``."""
+    if e < 3:
+        raise OrderingError(f"theorem 2 requires e >= 3, got {e}")
+    return (2.0 ** e / (e - 1) + 2.0 ** (e - 2) / (e - 1)
+            - 2.0 ** e / (e - 1) ** 2)
+
+
+def theorem2_check(e: int) -> Tuple[int, float, bool]:
+    """Measured alpha, the theorem-2 bound, and whether the bound holds."""
+    _require_power_case(e)
+    a = alpha(transformation_snapshots(e)[-1])
+    bound = theorem2_bound(e)
+    return a, bound, a <= bound + 1e-9
+
+
+def theorem3_ratio(e: int) -> float:
+    """Theorem-2 bound divided by the lower bound ``(2**e - 1)/e``;
+    Theorem 3 says this tends to 1.25 as ``e`` grows.
+
+    Evaluated in factored form
+    ``e/(e-1) * (1 + 1/4 - 1/(e-1)) / (1 - 2**-e)`` so huge ``e`` (used to
+    demonstrate the limit) cannot overflow ``2.0**e``.
+    """
+    if e < 3:
+        raise OrderingError(f"theorem 3 requires e >= 3, got {e}")
+    tail = 1.0 - (2.0 ** -e if e < 1074 else 0.0)
+    return (e / (e - 1.0)) * (1.25 - 1.0 / (e - 1.0)) / tail
+
+
+@dataclass(frozen=True)
+class AppendixReport:
+    """Verification results for one value of ``e``."""
+
+    e: int
+    lemma2: bool
+    lemma3: bool
+    lemma4: bool
+    alpha: int
+    bound: float
+    theorem2: bool
+    ratio_measured: float
+    ratio_bound: float
+
+    @property
+    def all_ok(self) -> bool:
+        """Every appendix statement verified for this ``e``."""
+        return self.lemma2 and self.lemma3 and self.lemma4 and self.theorem2
+
+
+def verify_appendix(e_values: Tuple[int, ...] = (5, 9, 17)
+                    ) -> List[AppendixReport]:
+    """Run all appendix checks for power-case ``e`` values."""
+    out: List[AppendixReport] = []
+    for e in e_values:
+        a, bound, ok2 = theorem2_check(e)
+        out.append(AppendixReport(
+            e=e,
+            lemma2=lemma2_check(e),
+            lemma3=lemma3_check(e),
+            lemma4=lemma4_check(e),
+            alpha=a,
+            bound=bound,
+            theorem2=ok2,
+            ratio_measured=a / alpha_lower_bound(e),
+            ratio_bound=theorem3_ratio(e)))
+    return out
+
+
+def render_appendix(reports: List[AppendixReport] = None) -> str:
+    """Render the appendix verification table (plus the Theorem-3 limit)."""
+    if reports is None:
+        reports = verify_appendix()
+    rows = [
+        (r.e, "OK" if r.lemma2 else "FAIL", "OK" if r.lemma3 else "FAIL",
+         "OK" if r.lemma4 else "FAIL", r.alpha, f"{r.bound:.1f}",
+         "OK" if r.theorem2 else "FAIL",
+         f"{r.ratio_measured:.3f}", f"{r.ratio_bound:.3f}")
+        for r in reports
+    ]
+    table = render_table(
+        ["e", "lemma2", "lemma3", "lemma4", "alpha", "thm2 bound",
+         "alpha<=bound", "alpha/LB", "bound/LB"],
+        rows,
+        title="Appendix verification (permuted-BR, e-1 a power of two)")
+    tail = (f"\nTheorem 3 limit check: bound/LB at e=2**20+1 is "
+            f"{theorem3_ratio((1 << 20) + 1):.6f} (-> 1.25)")
+    return table + tail

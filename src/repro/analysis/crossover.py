@@ -1,0 +1,124 @@
+"""Crossover analysis: when does degree-4 overtake permuted-BR?
+
+The paper's conclusion: *"Depending on the start-up cost and the
+transmission cost there are cases in which the most efficient solution is
+to use just a few number of links simultaneously.  In this scenario, the
+permuted-BR ordering is not nearly optimal anymore.  For such cases, we
+have proposed the degree-4 ordering."*
+
+This driver maps that statement: for a grid of machine/problem
+parameters it finds which ordering wins and locates the crossover —
+along the matrix-size axis (the column cap ``Q <= m/2**(d+1)`` is what
+forces shallow mode) and along the machine-balance axis (``Ts/Tw``).
+Figure 2 shows three slices of this surface; the crossover table is its
+summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from ..ccube.cost import sweep_communication_cost, unpipelined_sweep_cost
+from ..ccube.machine import MachineParams
+from ..orderings.base import get_ordering
+from .report import render_table
+
+__all__ = ["CrossoverPoint", "winner_for", "crossover_matrix_size",
+           "compute_crossover_table", "render_crossover_table"]
+
+
+@dataclass(frozen=True)
+class CrossoverPoint:
+    """Winner summary for one (d, m, machine) configuration.
+
+    Attributes
+    ----------
+    d, m:
+        Cube dimension and matrix dimension.
+    ts_over_tw:
+        Machine balance ``Ts / Tw``.
+    winner:
+        Ordering with the lowest sweep communication cost.
+    rel_permuted_br, rel_degree4:
+        Costs relative to the un-pipelined BR sweep.
+    deep:
+        Whether permuted-BR's dominant phase ran deep.
+    """
+
+    d: int
+    m: int
+    ts_over_tw: float
+    winner: str
+    rel_permuted_br: float
+    rel_degree4: float
+    deep: bool
+
+
+def winner_for(d: int, m: int, machine: MachineParams) -> CrossoverPoint:
+    """Evaluate both contenders at one configuration."""
+    ref = unpipelined_sweep_cost(d, m, machine)
+    pbr = sweep_communication_cost(get_ordering("permuted-br", d), m,
+                                   machine)
+    d4 = sweep_communication_cost(get_ordering("degree4", d), m, machine)
+    if abs(pbr.total - d4.total) <= 1e-9 * max(pbr.total, d4.total):
+        # e.g. one column per block: Q is pinned at 1 and every ordering
+        # degenerates to the same un-pipelined cost
+        winner = "tie"
+    elif pbr.total < d4.total:
+        winner = "permuted-br"
+    else:
+        winner = "degree4"
+    return CrossoverPoint(d=d, m=m,
+                          ts_over_tw=(machine.ts / machine.tw
+                                      if machine.tw else float("inf")),
+                          winner=winner,
+                          rel_permuted_br=pbr.total / ref,
+                          rel_degree4=d4.total / ref,
+                          deep=pbr.deep_in_largest_phase)
+
+
+def crossover_matrix_size(d: int, machine: MachineParams,
+                          m_exponents: Iterable[int] = range(11, 33)
+                          ) -> Optional[int]:
+    """Smallest ``log2(m)`` at which permuted-BR beats degree-4.
+
+    Below the returned exponent the column cap forces shallow mode and
+    degree-4 wins; at and above it deep pipelining makes permuted-BR the
+    better ordering.  Returns ``None`` if permuted-BR never wins on the
+    scanned range.
+    """
+    for exp in sorted(m_exponents):
+        m = 1 << exp
+        if m < (1 << (d + 1)):
+            continue
+        if winner_for(d, m, machine).winner == "permuted-br":
+            return exp
+    return None
+
+
+def compute_crossover_table(dims: Iterable[int] = (6, 8, 10, 12, 14),
+                            machine: Optional[MachineParams] = None
+                            ) -> List[Tuple[int, Optional[int]]]:
+    """Crossover matrix-size exponent per cube dimension."""
+    machine = MachineParams() if machine is None else machine
+    return [(d, crossover_matrix_size(d, machine)) for d in dims]
+
+
+def render_crossover_table(rows: Optional[List[Tuple[int, Optional[int]]]]
+                           = None) -> str:
+    """Render the crossover summary with the winning regions."""
+    if rows is None:
+        rows = compute_crossover_table()
+    table = []
+    for d, exp in rows:
+        if exp is None:
+            table.append([d, "-", "degree-4 everywhere scanned"])
+        else:
+            table.append([d, f"2^{exp}",
+                          f"degree-4 below, permuted-BR at/above"])
+    return render_table(
+        ["d", "crossover m", "winning regions"],
+        table,
+        title="Crossover: smallest matrix where permuted-BR beats degree-4"
+              " (Ts=1000, Tw=100, all-port)")

@@ -1,0 +1,157 @@
+"""Figure 2: communication cost of the orderings relative to BR.
+
+For hypercube dimensions ``d in [5, 15]`` and matrix dimensions
+``m in {2**18, 2**23, 2**32}`` (panels a, b, c), the paper plots the sweep
+communication cost — per the analytical models of ref [9], with the
+pipelining degree optimised per exchange phase — relative to the
+un-pipelined CC-cube BR algorithm, on an all-port machine with
+``Ts = 1000`` and ``Tw = 100``:
+
+* **BR Algorithm** — the reference, identically 1.
+* **Pipelined BR** — BR with communication pipelining: caps at ~1/2
+  (every window of ``D_e^BR`` is half link 0).
+* **Degree-4** — ~1/4 everywhere (length-4 windows are repetition-free).
+* **Permuted-BR** — approaches the lower bound while every phase can run
+  deep (filled symbols); degrades toward BR when the column cap
+  ``Q <= m / 2**(d+1)`` forces shallow mode (unfilled symbols).
+* **Lower bound** — the ideal balanced sequence.
+
+The shapes — who wins, the ~2x and ~4x factors, where permuted-BR peels
+away from the lower bound — are the reproduction targets; see
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..ccube.cost import (
+    lower_bound_sweep_cost,
+    sweep_communication_cost,
+    unpipelined_sweep_cost,
+)
+from ..ccube.machine import MachineParams, PAPER_MACHINE
+from ..orderings.base import get_ordering
+from .report import render_ascii_chart, render_table
+
+__all__ = ["Figure2Point", "Figure2Panel", "PAPER_FIGURE2_M",
+           "compute_figure2_panel", "compute_figure2", "render_figure2"]
+
+#: The matrix dimensions of panels (a), (b), (c).
+PAPER_FIGURE2_M: Tuple[int, ...] = (1 << 18, 1 << 23, 1 << 32)
+
+#: The hypercube dimensions of the x-axis.
+PAPER_FIGURE2_DIMS: Tuple[int, ...] = tuple(range(5, 16))
+
+#: Series of the figure, in legend order.
+FIGURE2_SERIES: Tuple[str, ...] = (
+    "br-unpipelined", "br-pipelined", "degree4", "permuted-br",
+    "lower-bound")
+
+
+@dataclass(frozen=True)
+class Figure2Point:
+    """One (d, series) point of Figure 2.
+
+    Attributes
+    ----------
+    d:
+        Hypercube dimension.
+    relative_cost:
+        Sweep communication cost / un-pipelined BR sweep cost.
+    deep:
+        Whether the dominant exchange phase ran deep (filled symbol);
+        ``None`` for the series where the notion does not apply.
+    """
+
+    d: int
+    relative_cost: float
+    deep: Optional[bool]
+
+
+@dataclass(frozen=True)
+class Figure2Panel:
+    """One panel (fixed matrix dimension ``m``) of Figure 2."""
+
+    m: int
+    machine: MachineParams
+    series: Dict[str, List[Figure2Point]]
+
+
+def compute_figure2_panel(m: int,
+                          dims: Iterable[int] = PAPER_FIGURE2_DIMS,
+                          machine: MachineParams = PAPER_MACHINE
+                          ) -> Figure2Panel:
+    """Compute one Figure-2 panel.
+
+    Dimensions where the matrix cannot fill the blocks
+    (``m < 2**(d+1)``) are skipped.
+    """
+    series: Dict[str, List[Figure2Point]] = {s: [] for s in FIGURE2_SERIES}
+    for d in dims:
+        if m < (1 << (d + 1)):
+            continue
+        ref = unpipelined_sweep_cost(d, m, machine)
+        series["br-unpipelined"].append(Figure2Point(d=d, relative_cost=1.0,
+                                                     deep=None))
+        for name, key in (("br", "br-pipelined"),
+                          ("degree4", "degree4"),
+                          ("permuted-br", "permuted-br")):
+            bd = sweep_communication_cost(get_ordering(name, d), m, machine)
+            series[key].append(Figure2Point(
+                d=d, relative_cost=bd.total / ref,
+                deep=bd.deep_in_largest_phase))
+        lb = lower_bound_sweep_cost(d, m, machine)
+        series["lower-bound"].append(Figure2Point(
+            d=d, relative_cost=lb.total / ref, deep=None))
+    return Figure2Panel(m=m, machine=machine, series=series)
+
+
+def compute_figure2(ms: Iterable[int] = PAPER_FIGURE2_M,
+                    dims: Iterable[int] = PAPER_FIGURE2_DIMS,
+                    machine: MachineParams = PAPER_MACHINE
+                    ) -> List[Figure2Panel]:
+    """Compute all three panels of Figure 2."""
+    return [compute_figure2_panel(m, dims, machine) for m in ms]
+
+
+def render_figure2(panels: Optional[List[Figure2Panel]] = None,
+                   chart: bool = True) -> str:
+    """Render Figure 2 as per-panel tables plus ASCII charts.
+
+    Deep/shallow mode (the paper's filled/unfilled symbols) is marked
+    ``D``/``s`` in the tables.
+    """
+    if panels is None:
+        panels = compute_figure2()
+    blocks: List[str] = []
+    for idx, panel in enumerate(panels):
+        dims = [p.d for p in panel.series["br-unpipelined"]]
+        rows = []
+        for i, d in enumerate(dims):
+            row: List[object] = [d]
+            for s in FIGURE2_SERIES:
+                pt = panel.series[s][i]
+                mark = ""
+                if pt.deep is not None:
+                    mark = " D" if pt.deep else " s"
+                row.append(f"{pt.relative_cost:.3f}{mark}")
+            rows.append(row)
+        label = chr(ord("a") + idx)
+        title = (f"Figure 2({label}) - m = 2^{panel.m.bit_length() - 1}, "
+                 f"{panel.machine.describe()} "
+                 f"(D = deep pipelining in the top phase, s = shallow)")
+        blocks.append(render_table(["d"] + list(FIGURE2_SERIES), rows,
+                                   title=title))
+        if chart:
+            chart_series = {
+                s: [p.relative_cost for p in panel.series[s]]
+                for s in FIGURE2_SERIES
+            }
+            blocks.append(render_ascii_chart(
+                dims, chart_series,
+                title=f"Figure 2({label}) chart "
+                      f"(y = cost relative to BR)",
+                y_min=0.0, y_max=1.05))
+    return "\n\n".join(blocks)

@@ -1,0 +1,95 @@
+"""ASCII rendering of tables and figures for the CLI and benchmarks.
+
+No plotting dependencies are available offline, so Figure 2 is rendered as
+an ASCII line chart; tables render as aligned-column text.  Everything
+returns strings (callers decide where to print), keeping the experiment
+drivers pure and testable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["render_table", "render_ascii_chart"]
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None,
+                 float_fmt: str = "{:.2f}") -> str:
+    """Render rows as an aligned-column ASCII table.
+
+    Floats are formatted with ``float_fmt``; everything else with
+    ``str``.
+    """
+    def fmt(x: object) -> str:
+        if isinstance(x, float):
+            return float_fmt.format(x)
+        return str(x)
+
+    cells = [[fmt(x) for x in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+              for i, h in enumerate(headers)]
+    sep = "-+-".join("-" * w for w in widths)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_ascii_chart(x: Sequence[float],
+                       series: Mapping[str, Sequence[Optional[float]]],
+                       title: str = "",
+                       width: int = 64, height: int = 20,
+                       y_min: float = 0.0,
+                       y_max: Optional[float] = None) -> str:
+    """Render one or more y(x) series as an ASCII chart.
+
+    Each series gets a distinct marker; ``None`` values are skipped
+    (e.g. infeasible machine sizes).  The y-axis is linear from ``y_min``
+    to ``y_max`` (auto when omitted).
+    """
+    markers = "*o+x#@%&"
+    xs = list(x)
+    if not xs:
+        return title
+    all_vals = [v for vs in series.values() for v in vs if v is not None]
+    if y_max is None:
+        y_max = max(all_vals) * 1.05 if all_vals else 1.0
+    if y_max <= y_min:
+        y_max = y_min + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    x_lo, x_hi = min(xs), max(xs)
+    span_x = (x_hi - x_lo) or 1.0
+
+    def col(xv: float) -> int:
+        return int(round((xv - x_lo) / span_x * (width - 1)))
+
+    def row(yv: float) -> int:
+        frac = (yv - y_min) / (y_max - y_min)
+        frac = min(max(frac, 0.0), 1.0)
+        return (height - 1) - int(round(frac * (height - 1)))
+
+    legend: List[str] = []
+    for idx, (name, vals) in enumerate(series.items()):
+        mk = markers[idx % len(markers)]
+        legend.append(f"{mk} = {name}")
+        for xv, yv in zip(xs, vals):
+            if yv is None:
+                continue
+            grid[row(float(yv))][col(float(xv))] = mk
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for r in range(height):
+        yv = y_max - (y_max - y_min) * r / (height - 1)
+        lines.append(f"{yv:8.3f} |" + "".join(grid[r]))
+    lines.append(" " * 9 + "+" + "-" * width)
+    ticks = " " * 10 + f"{x_lo:<8g}" + " " * max(0, width - 16) + f"{x_hi:>8g}"
+    lines.append(ticks)
+    lines.append("   " + "   ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""Table 2: convergence rate of the orderings (sweeps to convergence).
+
+The paper measures the mean number of sweeps needed by the BR,
+permuted-BR and degree-4 orderings on random symmetric matrices (entries
+uniform in [-1, 1]; 30 matrices per configuration) for every feasible
+(m, P) pair with m in {8, 16, 32, 64} and P = 2**d in {2 .. m/2} — and
+concludes that all three orderings converge at practically the same rate.
+
+This driver reruns the experiment on the simulated machine.  The paper
+does not state its convergence threshold, so absolute sweep counts are
+calibration-dependent (DESIGN.md §5.6); the reproducible claim — checked
+by the tests — is that the per-configuration means of the three orderings
+agree closely while growing slowly with m.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..jacobi.convergence import DEFAULT_TOL
+from ..jacobi.onesided import make_symmetric_test_matrix
+from ..jacobi.parallel import ParallelOneSidedJacobi
+from ..orderings.base import get_ordering
+from .report import render_table
+
+__all__ = ["Table2Row", "PAPER_TABLE2_CONFIGS", "default_configs",
+           "compute_table2", "render_table2"]
+
+#: The orderings compared in Table 2, in the paper's column order.
+TABLE2_ORDERINGS: Tuple[str, ...] = ("br", "permuted-br", "degree4")
+
+#: The paper's (m, P) grid: every power-of-two P from 2 up to m/2.
+PAPER_TABLE2_CONFIGS: Tuple[Tuple[int, int], ...] = tuple(
+    (m, 1 << d)
+    for m in (8, 16, 32, 64)
+    for d in range(1, m.bit_length() - 1)
+)
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """Mean sweeps to convergence for one (m, P) configuration.
+
+    Attributes
+    ----------
+    m:
+        Matrix dimension.
+    P:
+        Number of processors (``2**d``).
+    sweeps:
+        Mean sweep count per ordering name.
+    spread:
+        ``max - min`` of the means across orderings (the paper's claim is
+        that this is small).
+    """
+
+    m: int
+    P: int
+    sweeps: Dict[str, float]
+    spread: float
+
+
+def default_configs(max_m: int = 64) -> List[Tuple[int, int]]:
+    """The paper's configuration grid, optionally truncated for speed."""
+    return [(m, p) for (m, p) in PAPER_TABLE2_CONFIGS if m <= max_m]
+
+
+def compute_table2(configs: Optional[Sequence[Tuple[int, int]]] = None,
+                   num_matrices: int = 30,
+                   tol: float = DEFAULT_TOL,
+                   seed: int = 1998,
+                   orderings: Sequence[str] = TABLE2_ORDERINGS
+                   ) -> List[Table2Row]:
+    """Rerun the Table-2 convergence experiment.
+
+    Parameters
+    ----------
+    configs:
+        (m, P) pairs; defaults to the paper's full grid.
+    num_matrices:
+        Matrices per configuration (the paper used 30).
+    tol:
+        Convergence tolerance of the sweep loop.
+    seed:
+        Base RNG seed; every configuration uses an independent seeded
+        stream, and *all orderings see the same matrices*.
+    """
+    configs = default_configs() if configs is None else list(configs)
+    rows: List[Table2Row] = []
+    for m, P in configs:
+        d = int(P).bit_length() - 1
+        if (1 << d) != P:
+            raise ValueError(f"P={P} is not a power of two")
+        rng = np.random.default_rng((seed, m, P))
+        matrices = [make_symmetric_test_matrix(m, rng)
+                    for _ in range(num_matrices)]
+        means: Dict[str, float] = {}
+        for name in orderings:
+            solver = ParallelOneSidedJacobi(get_ordering(name, d), tol=tol)
+            counts = [solver.solve(A).sweeps for A in matrices]
+            means[name] = float(np.mean(counts))
+        vals = list(means.values())
+        rows.append(Table2Row(m=m, P=P, sweeps=means,
+                              spread=max(vals) - min(vals)))
+    return rows
+
+
+def render_table2(rows: List[Table2Row],
+                  orderings: Sequence[str] = TABLE2_ORDERINGS) -> str:
+    """Render the convergence table in the paper's layout."""
+    table = [
+        [r.m, r.P] + [r.sweeps[name] for name in orderings] + [r.spread]
+        for r in rows
+    ]
+    return render_table(
+        ["m", "P"] + list(orderings) + ["spread"],
+        table,
+        title="Table 2 - mean sweeps to convergence "
+              "(paper claim: all orderings converge alike)")

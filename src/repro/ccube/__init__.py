@@ -1,0 +1,45 @@
+"""CC-cube algorithms and communication pipelining (the paper's ref [9]).
+
+The abstraction layer between the Jacobi orderings and the multi-port
+machine: CC-cube algorithm model, the software-pipelining transformation
+(prologue / kernel / epilogue stage windows), and the communication cost
+model that regenerates Figure 2.
+"""
+
+from .machine import MachineParams, PAPER_MACHINE
+from .model import CCCubeAlgorithm
+from .pipelining import PipelinedSchedule, Stage
+from .cost import (
+    IdealPhaseCostModel,
+    PhaseCostModel,
+    PhaseCostResult,
+    SequencePhaseCostModel,
+    SweepCostBreakdown,
+    default_q_candidates,
+    jacobi_message_elems,
+    lower_bound_sweep_cost,
+    max_pipelining_degree,
+    optimal_pipelining_degree,
+    sweep_communication_cost,
+    unpipelined_sweep_cost,
+)
+
+__all__ = [
+    "MachineParams",
+    "PAPER_MACHINE",
+    "CCCubeAlgorithm",
+    "PipelinedSchedule",
+    "Stage",
+    "PhaseCostModel",
+    "SequencePhaseCostModel",
+    "IdealPhaseCostModel",
+    "PhaseCostResult",
+    "SweepCostBreakdown",
+    "default_q_candidates",
+    "jacobi_message_elems",
+    "max_pipelining_degree",
+    "optimal_pipelining_degree",
+    "sweep_communication_cost",
+    "lower_bound_sweep_cost",
+    "unpipelined_sweep_cost",
+]

@@ -1,0 +1,542 @@
+"""Communication cost model of (pipelined) CC-cube algorithms.
+
+This module regenerates the analytical evaluation of the paper (Figure 2):
+the communication cost of a full one-sided Jacobi sweep on a multi-port
+d-cube, for a given ordering, matrix size and machine, with the pipelining
+degree optimised per exchange phase.
+
+Cost of one pipelined stage whose link window is ``w`` (packet size
+``S = M/Q``), from §3.1 of the paper:
+
+    ``Ts * distinct(w) + Tw * S * busy(w)``
+
+where ``busy(w)`` is the number of packets on the critical channel —
+``maxmult(w)`` on an all-port machine (packets sharing a link are combined
+into one message), and ``max(maxmult(w), ceil(|w| / ports))`` with limited
+ports.  Summing over the prologue (growing prefixes), kernel (full
+windows) and epilogue (shrinking suffixes) gives the phase cost; for deep
+pipelining every kernel stage costs ``e*Ts + alpha*S*Tw`` — the formula
+the paper optimises alpha for.
+
+The *lower bound* model replaces the sequence's window statistics by the
+ideal ones (``distinct = min(|w|, e)``, ``maxmult = ceil(|w|/e)``) — the
+balanced sequence §3.3 calls an open problem.
+
+A full sweep adds ``d + 1`` un-pipelined transitions (the divisions and
+the last transition), each costing ``Ts + M*Tw``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import PipeliningError
+from ..orderings.base import JacobiOrdering
+from .machine import MachineParams
+
+__all__ = [
+    "PhaseCostModel",
+    "SequencePhaseCostModel",
+    "IdealPhaseCostModel",
+    "PhaseCostResult",
+    "SweepCostBreakdown",
+    "optimal_pipelining_degree",
+    "default_q_candidates",
+    "unpipelined_sweep_cost",
+    "sweep_communication_cost",
+    "lower_bound_sweep_cost",
+    "jacobi_message_elems",
+    "max_pipelining_degree",
+]
+
+
+def jacobi_message_elems(m: int, d: int) -> float:
+    """Elements exchanged per node per transition: one block of A and one
+    of U, i.e. ``2 * m * (m / 2**(d+1)) = m*m / 2**d``."""
+    if m < (1 << (d + 1)):
+        raise PipeliningError(
+            f"matrix dimension m={m} needs at least one column per block "
+            f"(m >= {1 << (d + 1)} for d={d})")
+    return (float(m) * float(m)) / float(1 << d)
+
+
+def max_pipelining_degree(m: int, d: int) -> int:
+    """Largest usable pipelining degree: packets are whole columns, so
+    ``Q <= m / 2**(d+1)`` (columns per block).
+
+    This cap is what forces shallow mode on large cubes with small
+    matrices — the unfilled symbols of Figure 2 (DESIGN.md §5.7).
+    """
+    if m < (1 << (d + 1)):
+        raise PipeliningError(
+            f"matrix dimension m={m} needs at least one column per block "
+            f"(m >= {1 << (d + 1)} for d={d})")
+    return max(1, m // (1 << (d + 1)))
+
+
+# ----------------------------------------------------------------------
+# Phase cost models
+# ----------------------------------------------------------------------
+class PhaseCostModel:
+    """Cost of one exchange phase as a function of the pipelining degree.
+
+    Subclasses provide window statistics; this base class implements the
+    stage summation, the O(1) deep-mode evaluation, and the optimal-Q
+    search.
+
+    Parameters
+    ----------
+    K:
+        Iterations of the phase (``2**e - 1``).
+    span:
+        Subcube dimension ``e`` (number of distinct links available).
+    machine:
+        Cost parameters.
+    message_elems:
+        Elements per full (un-pipelined) transition message ``M``.
+    q_max:
+        Hard cap on the pipelining degree (columns per block); ``None``
+        means unlimited.
+    """
+
+    def __init__(self, K: int, span: int, machine: MachineParams,
+                 message_elems: float, q_max: Optional[int] = None) -> None:
+        if K < 1:
+            raise PipeliningError(f"phase length must be >= 1, got {K}")
+        if span < 1:
+            raise PipeliningError(f"span must be >= 1, got {span}")
+        if message_elems <= 0:
+            raise PipeliningError("message size must be positive")
+        self.K = int(K)
+        self.span = int(span)
+        self.machine = machine
+        self.message_elems = float(message_elems)
+        self.q_max = None if q_max is None else max(1, int(q_max))
+        # Prefix/suffix statistics, filled by subclasses:
+        #   arrays indexed by window length l = 1..K (index l-1):
+        #   *_distinct[l-1], *_busy[l-1]  (busy already folds the port model)
+        self._prefix_distinct: np.ndarray
+        self._prefix_busy: np.ndarray
+        self._suffix_distinct: np.ndarray
+        self._suffix_busy: np.ndarray
+        self._full_distinct: int
+        self._alpha: int
+        self._kernel_cache: Dict[int, Tuple[float, float]] = {}
+
+    # -- subclass hooks -------------------------------------------------
+    def _kernel_sums(self, width: int) -> Tuple[float, float]:
+        """Sum over all length-``width`` windows of (distinct, busy)."""
+        raise NotImplementedError
+
+    # -- derived quantities ----------------------------------------------
+    @property
+    def alpha(self) -> int:
+        """Maximum link multiplicity of the whole sequence."""
+        return self._alpha
+
+    @property
+    def full_distinct(self) -> int:
+        """Distinct links of the whole sequence (``e`` for a valid
+        e-sequence)."""
+        return self._full_distinct
+
+    def effective_q_max(self) -> Optional[int]:
+        """The applicable cap on Q (``q_max``; ``None`` if unlimited)."""
+        return self.q_max
+
+    # -- cost evaluation ---------------------------------------------------
+    def _pe_sums(self, kernel_width: int) -> Tuple[float, float]:
+        """Prologue+epilogue sums of (distinct, busy) for a given kernel
+        width ``W = min(Q, K)``: windows of lengths 1..W-1 on both sides."""
+        w = kernel_width - 1
+        if w <= 0:
+            return 0.0, 0.0
+        d_sum = float(self._cum_pd[w - 1] + self._cum_sd[w - 1])
+        b_sum = float(self._cum_pb[w - 1] + self._cum_sb[w - 1])
+        return d_sum, b_sum
+
+    def _finalise_stats(self) -> None:
+        """Precompute cumulative prefix/suffix sums (call from __init__)."""
+        self._cum_pd = np.cumsum(self._prefix_distinct, dtype=np.float64)
+        self._cum_pb = np.cumsum(self._prefix_busy, dtype=np.float64)
+        self._cum_sd = np.cumsum(self._suffix_distinct, dtype=np.float64)
+        self._cum_sb = np.cumsum(self._suffix_busy, dtype=np.float64)
+
+    def cost(self, Q: int) -> float:
+        """Communication cost of the phase with pipelining degree ``Q``."""
+        Q = int(Q)
+        if Q < 1:
+            raise PipeliningError(f"Q must be >= 1, got {Q}")
+        if self.q_max is not None and Q > self.q_max:
+            raise PipeliningError(
+                f"Q={Q} exceeds the column cap q_max={self.q_max}")
+        S = self.message_elems / Q
+        W = min(Q, self.K)
+        pe_d, pe_b = self._pe_sums(W)
+        if W not in self._kernel_cache:
+            self._kernel_cache[W] = self._kernel_sums(W)
+        k_d, k_b = self._kernel_cache[W]
+        if Q > self.K:
+            # Deep mode: Q - K + 1 identical kernel stages (full window);
+            # _kernel_sums(K) returns the single full-window stats summed
+            # over exactly one stage, so scale by the stage count.
+            n_kernel = Q - self.K + 1
+            k_d, k_b = k_d * n_kernel, k_b * n_kernel
+        ts, tw = self.machine.ts, self.machine.tw
+        return ts * (pe_d + k_d) + tw * S * (pe_b + k_b)
+
+    def unpipelined_cost(self) -> float:
+        """Cost without pipelining: ``K`` full-size single-link messages.
+
+        Identical to ``cost(1)`` — the degenerate pipeline — which the
+        test-suite asserts.
+        """
+        return self.K * self.machine.transition_cost(self.message_elems)
+
+    # -- optimum -----------------------------------------------------------
+    def _deep_candidates(self) -> List[int]:
+        """Closed-form candidates for the deep-mode optimum.
+
+        For ``Q >= K`` the cost is ``c0 + c1*Q + c2/Q`` with
+        ``c1 = Ts * full_distinct`` and
+        ``c2 = Tw * M * (B - busy_full * (K-1))`` (``B`` = prologue+epilogue
+        busy sum), minimised at ``Q* = sqrt(c2/c1)``.
+        """
+        if self.q_max is not None and self.q_max <= self.K:
+            return []
+        hi = self.q_max if self.q_max is not None else 1 << 62
+        cands = {self.K, min(hi, 4 * self.K), hi if self.q_max else None}
+        cands.discard(None)
+        pe_d, pe_b = self._pe_sums(self.K)
+        busy_full = self.machine.busy_volume(self._alpha, self.K)
+        c1 = self.machine.ts * self._full_distinct
+        c2 = self.machine.tw * self.message_elems * (
+            pe_b - busy_full * (self.K - 1))
+        if c1 > 0 and c2 > 0:
+            q_star = math.sqrt(c2 / c1)
+            for q in (math.floor(q_star), math.ceil(q_star)):
+                if self.K <= q <= hi:
+                    cands.add(int(q))
+        return sorted(int(q) for q in cands if self.K <= q <= hi)
+
+    def optimal(self, candidates: Optional[Iterable[int]] = None
+                ) -> "PhaseCostResult":
+        """Minimise the phase cost over the pipelining degree.
+
+        ``candidates`` defaults to :func:`default_q_candidates` (all small
+        Q, a geometric grid through the shallow range, and the analytic
+        deep-mode optimum).  The search is exact on the candidate set; the
+        set is dense enough that Figure 2 is insensitive to refinement
+        (tests compare against brute force on small phases).
+        """
+        if candidates is None:
+            candidates = default_q_candidates(self.K, self.q_max)
+        best_q, best_c = 1, None
+        for q in candidates:
+            q = int(q)
+            if q < 1 or (self.q_max is not None and q > self.q_max):
+                continue
+            c = self.cost(q)
+            if best_c is None or c < best_c:
+                best_q, best_c = q, c
+        for q in self._deep_candidates():
+            c = self.cost(q)
+            if best_c is None or c < best_c:
+                best_q, best_c = q, c
+        if best_c is None:  # pragma: no cover - q_max >= 1 always admits Q=1
+            raise PipeliningError("no feasible pipelining degree")
+        return PhaseCostResult(span=self.span, K=self.K, Q=best_q,
+                               cost=best_c,
+                               deep=best_q > self.K,
+                               unpipelined_cost=self.unpipelined_cost())
+
+
+class SequencePhaseCostModel(PhaseCostModel):
+    """Phase cost model for a concrete link sequence.
+
+    Window statistics are computed with cumulative one-hot sums — O(K * e)
+    once for all prefixes/suffixes and per kernel width — so optimising Q
+    for the 32767-element phases of a 15-cube stays fast.
+    """
+
+    def __init__(self, sequence: Sequence[int], machine: MachineParams,
+                 message_elems: float, q_max: Optional[int] = None) -> None:
+        seq = np.asarray(sequence, dtype=np.int64)
+        if seq.ndim != 1 or seq.size == 0:
+            raise PipeliningError("sequence must be a non-empty 1-D array")
+        span = int(seq.max()) + 1
+        super().__init__(K=seq.size, span=span, machine=machine,
+                         message_elems=message_elems, q_max=q_max)
+        self._seq = seq
+        onehot = np.zeros((seq.size + 1, span), dtype=np.int64)
+        onehot[np.arange(1, seq.size + 1), seq] = 1
+        self._csum = np.cumsum(onehot, axis=0)
+        # prefix stats for lengths 1..K
+        pref = self._csum[1:]
+        self._prefix_distinct = (pref > 0).sum(axis=1).astype(np.float64)
+        pm = pref.max(axis=1)
+        lengths = np.arange(1, seq.size + 1)
+        self._prefix_busy = self._busy_array(pm, lengths)
+        # suffix stats for lengths 1..K
+        suff = self._csum[-1] - self._csum[:-1][::-1]
+        self._suffix_distinct = (suff > 0).sum(axis=1).astype(np.float64)
+        sm = suff.max(axis=1)
+        self._suffix_busy = self._busy_array(sm, lengths)
+        self._full_distinct = int((self._csum[-1] > 0).sum())
+        self._alpha = int(self._csum[-1].max())
+        self._finalise_stats()
+
+    def _busy_array(self, maxmult: np.ndarray, total: np.ndarray
+                    ) -> np.ndarray:
+        p = self.machine.ports
+        if p is None:
+            return maxmult.astype(np.float64)
+        return np.maximum(maxmult, -(-total // p)).astype(np.float64)
+
+    def _kernel_sums(self, width: int) -> Tuple[float, float]:
+        counts = self._csum[width:] - self._csum[:-width]
+        distinct = (counts > 0).sum(axis=1)
+        maxmult = counts.max(axis=1)
+        busy = self._busy_array(maxmult,
+                                np.full(maxmult.shape, width, dtype=np.int64))
+        return float(distinct.sum()), float(busy.sum())
+
+
+class IdealPhaseCostModel(PhaseCostModel):
+    """Lower-bound phase model: the perfectly balanced sequence.
+
+    Every window of length ``l`` has ``min(l, e)`` distinct links and
+    maximum multiplicity ``ceil(l / e)``.  No concrete sequence is known to
+    achieve this for all window lengths (§3.3 calls it an open problem).
+
+    The *transmission* component of this model lower-bounds every real
+    sequence pointwise (no window can have fewer than ``ceil(l/e)``
+    packets on its busiest link).  The *start-up* component does not — a
+    maximally unbalanced window pays fewer start-ups — so in start-up
+    dominated corners a real sequence can be marginally cheaper at some
+    fixed Q.  Figure 2's regimes are transmission-dominated, where this is
+    the paper's "Lower bound" curve.
+    """
+
+    def __init__(self, e: int, machine: MachineParams,
+                 message_elems: float, q_max: Optional[int] = None) -> None:
+        K = (1 << e) - 1
+        super().__init__(K=K, span=e, machine=machine,
+                         message_elems=message_elems, q_max=q_max)
+        lengths = np.arange(1, K + 1, dtype=np.int64)
+        distinct = np.minimum(lengths, e).astype(np.float64)
+        maxmult = -(-lengths // e)
+        busy = self._busy_array(maxmult, lengths)
+        self._prefix_distinct = distinct
+        self._prefix_busy = busy
+        self._suffix_distinct = distinct.copy()
+        self._suffix_busy = busy.copy()
+        self._full_distinct = int(e)
+        self._alpha = int(-(-K // e))
+        self._finalise_stats()
+
+    def _busy_array(self, maxmult: np.ndarray, total: np.ndarray
+                    ) -> np.ndarray:
+        p = self.machine.ports
+        if p is None:
+            return np.asarray(maxmult, dtype=np.float64)
+        return np.maximum(maxmult, -(-total // p)).astype(np.float64)
+
+    def _kernel_sums(self, width: int) -> Tuple[float, float]:
+        n_windows = self.K - width + 1
+        distinct = min(width, self.span)
+        maxmult = -(-width // self.span)
+        busy = float(self._busy_array(np.array([maxmult]),
+                                      np.array([width]))[0])
+        return float(distinct * n_windows), busy * n_windows
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PhaseCostResult:
+    """Optimised cost of one exchange phase.
+
+    Attributes
+    ----------
+    span:
+        Phase index ``e``.
+    K:
+        Transitions in the phase.
+    Q:
+        Optimal pipelining degree found.
+    cost:
+        Communication cost at that degree.
+    deep:
+        Whether deep pipelining (``Q > K``) was selected (the paper's
+        filled symbols).
+    unpipelined_cost:
+        Cost of the same phase without pipelining (for speed-up reporting).
+    """
+
+    span: int
+    K: int
+    Q: int
+    cost: float
+    deep: bool
+    unpipelined_cost: float
+
+    @property
+    def speedup(self) -> float:
+        """Communication speed-up of pipelining for this phase."""
+        return self.unpipelined_cost / self.cost if self.cost else math.inf
+
+
+@dataclass(frozen=True)
+class SweepCostBreakdown:
+    """Communication cost of a full sweep, phase by phase.
+
+    Attributes
+    ----------
+    d:
+        Hypercube dimension.
+    ordering_name:
+        Which ordering produced the phase sequences ("lower-bound" for the
+        ideal model).
+    phases:
+        Per-exchange-phase optimised results, ``e = d .. 1``.
+    barrier_cost:
+        The ``d + 1`` un-pipelined division/last transitions.
+    total:
+        Total sweep communication cost.
+    all_deep:
+        True when every phase ran in deep mode (paper's filled symbols).
+    """
+
+    d: int
+    ordering_name: str
+    phases: Tuple[PhaseCostResult, ...]
+    barrier_cost: float
+    total: float
+    all_deep: bool
+
+    @property
+    def deep_in_largest_phase(self) -> bool:
+        """Whether the dominant exchange phase (``e = d``) ran in deep
+        mode — the paper's filled-symbol criterion (its unfilled symbols
+        mark "shallow pipelining in the first, most time-consuming,
+        exchange phases").  The tiny phases (``e = 1`` in particular, a
+        single transition) never profit from deep mode, so ``all_deep`` is
+        stricter than the paper's marker."""
+        return self.phases[0].deep if self.phases else False
+
+    @property
+    def num_deep_phases(self) -> int:
+        """How many exchange phases selected deep pipelining."""
+        return sum(1 for p in self.phases if p.deep)
+
+
+def default_q_candidates(K: int, q_max: Optional[int] = None,
+                         dense_upto: int = 32,
+                         geometric_ratio: float = 1.25) -> List[int]:
+    """Candidate pipelining degrees for the optimal-Q search.
+
+    All integers up to ``dense_upto``, then a geometric grid through the
+    shallow range up to ``min(K, q_max)``, plus the boundary values.  Deep
+    candidates are produced analytically by the model itself.
+    """
+    hi = K if q_max is None else min(K, q_max)
+    cands = set(range(1, min(dense_upto, hi) + 1))
+    q = float(dense_upto)
+    while q < hi:
+        q *= geometric_ratio
+        cands.add(min(int(round(q)), hi))
+    cands.add(hi)
+    if q_max is not None:
+        cands.add(min(q_max, hi))
+    return sorted(c for c in cands if c >= 1)
+
+
+def optimal_pipelining_degree(sequence: Sequence[int],
+                              machine: MachineParams,
+                              message_elems: float,
+                              q_max: Optional[int] = None) -> PhaseCostResult:
+    """Optimise the pipelining degree for one phase sequence.
+
+    Convenience wrapper over :class:`SequencePhaseCostModel`.
+    """
+    model = SequencePhaseCostModel(sequence, machine, message_elems, q_max)
+    return model.optimal()
+
+
+def unpipelined_sweep_cost(d: int, m: int, machine: MachineParams) -> float:
+    """Sweep cost of the plain CC-cube algorithm (any ordering): all
+    ``2**(d+1) - 1`` transitions send one full message on one link."""
+    M = jacobi_message_elems(m, d)
+    return ((1 << (d + 1)) - 1) * machine.transition_cost(M)
+
+
+def sweep_communication_cost(ordering: JacobiOrdering, m: int,
+                             machine: MachineParams,
+                             pipelined: bool = True,
+                             q_candidates: Optional[Iterable[int]] = None
+                             ) -> SweepCostBreakdown:
+    """Total communication cost of one sweep for an ordering.
+
+    Parameters
+    ----------
+    ordering:
+        Supplies the phase sequences (and ``d``).
+    m:
+        Matrix dimension; sets the per-transition message ``M = m*m/2**d``
+        and the pipelining cap ``q_max = m / 2**(d+1)``.
+    machine:
+        Cost parameters.
+    pipelined:
+        When False, every phase runs at ``Q = 1`` (the reference CC-cube
+        algorithm of Figure 2).
+    q_candidates:
+        Optional explicit candidate set forwarded to the per-phase search.
+    """
+    d = ordering.d
+    if d < 1:
+        raise PipeliningError("sweep cost requires d >= 1")
+    M = jacobi_message_elems(m, d)
+    q_max = max_pipelining_degree(m, d)
+    phases: List[PhaseCostResult] = []
+    for e in range(d, 0, -1):
+        model = SequencePhaseCostModel(ordering.phase_sequence(e), machine,
+                                       M, q_max=q_max)
+        if pipelined:
+            phases.append(model.optimal(q_candidates))
+        else:
+            phases.append(PhaseCostResult(
+                span=e, K=model.K, Q=1, cost=model.cost(1), deep=False,
+                unpipelined_cost=model.unpipelined_cost()))
+    barrier = (d + 1) * machine.transition_cost(M)
+    total = sum(p.cost for p in phases) + barrier
+    return SweepCostBreakdown(d=d, ordering_name=ordering.name,
+                              phases=tuple(phases), barrier_cost=barrier,
+                              total=total,
+                              all_deep=all(p.deep for p in phases))
+
+
+def lower_bound_sweep_cost(d: int, m: int, machine: MachineParams,
+                           q_candidates: Optional[Iterable[int]] = None
+                           ) -> SweepCostBreakdown:
+    """Sweep cost with every phase replaced by the ideal balanced sequence
+    (the "Lower bound" series of Figure 2)."""
+    if d < 1:
+        raise PipeliningError("sweep cost requires d >= 1")
+    M = jacobi_message_elems(m, d)
+    q_max = max_pipelining_degree(m, d)
+    phases: List[PhaseCostResult] = []
+    for e in range(d, 0, -1):
+        model = IdealPhaseCostModel(e, machine, M, q_max=q_max)
+        phases.append(model.optimal(q_candidates))
+    barrier = (d + 1) * machine.transition_cost(M)
+    total = sum(p.cost for p in phases) + barrier
+    return SweepCostBreakdown(d=d, ordering_name="lower-bound",
+                              phases=tuple(phases), barrier_cost=barrier,
+                              total=total,
+                              all_deep=all(p.deep for p in phases))

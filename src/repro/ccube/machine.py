@@ -1,0 +1,103 @@
+"""Machine parameters of the multi-port hypercube cost model.
+
+The paper's communication model (§2.4, §3.1) charges a communication
+operation that sends messages on several links of one node as
+
+    ``Ts * (number of distinct links used)  +  Tw * (busiest link's data)``
+
+* ``Ts`` — start-up time per message (software overhead incurred
+  sequentially by the node's processor, one per link used);
+* ``Tw`` — transmission time per matrix element (overlapped across links);
+* ``ports`` — how many links a node can drive *simultaneously*.  In an
+  **all-port** configuration (`ports >= d`) transmissions on distinct links
+  fully overlap; in a **one-port** configuration they serialise.  The
+  intermediate *k-port* model serialises link loads onto ``k`` channels.
+
+Figure 2 of the paper uses ``Ts = 1000`` and ``Tw = 100`` time units on an
+all-port cube; those are the defaults here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import PipeliningError
+
+__all__ = ["MachineParams", "PAPER_MACHINE"]
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """Cost parameters of a multi-port hypercube multicomputer.
+
+    Attributes
+    ----------
+    ts:
+        Start-up cost per message (time units).
+    tw:
+        Transmission cost per matrix element (time units).
+    ports:
+        Number of links a node can drive simultaneously; ``None`` means
+        all-port (no limit).  ``ports = 1`` is the classical one-port
+        model.
+    """
+
+    ts: float = 1000.0
+    tw: float = 100.0
+    ports: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.ts < 0 or self.tw < 0:
+            raise PipeliningError("Ts and Tw must be non-negative")
+        if self.ports is not None and self.ports < 1:
+            raise PipeliningError(f"ports must be >= 1, got {self.ports}")
+
+    # ------------------------------------------------------------------
+    def busy_volume(self, max_multiplicity: float, total: float) -> float:
+        """Packets (in message-size units) on the critical channel.
+
+        With unlimited ports the critical link carries
+        ``max_multiplicity`` combined packets; with ``p`` ports the node
+        must also push ``total`` packets through ``p`` channels, so the
+        critical channel carries at least ``total / p`` (rounded up for
+        integral packets).
+        """
+        if self.ports is None:
+            return max_multiplicity
+        return max(max_multiplicity, math.ceil(total / self.ports))
+
+    def stage_cost(self, distinct: float, max_multiplicity: float,
+                   total: float, packet_elems: float) -> float:
+        """Cost of one pipelined stage's communication operation.
+
+        Parameters
+        ----------
+        distinct:
+            Number of distinct links in the stage's window (start-ups).
+        max_multiplicity:
+            Largest number of packets sharing one link (they are combined
+            into a single message on that link).
+        total:
+            Total packets in the window.
+        packet_elems:
+            Matrix elements per packet (message size ``S``).
+        """
+        return (self.ts * distinct
+                + self.tw * packet_elems
+                * self.busy_volume(max_multiplicity, total))
+
+    def transition_cost(self, message_elems: float) -> float:
+        """Cost of one plain (un-pipelined) transition: a single message of
+        ``message_elems`` elements on one link: ``Ts + M*Tw``."""
+        return self.ts + self.tw * message_elems
+
+    def describe(self) -> str:
+        """Human-readable one-liner for reports."""
+        port_s = "all-port" if self.ports is None else f"{self.ports}-port"
+        return f"Ts={self.ts:g}, Tw={self.tw:g}, {port_s}"
+
+
+#: The machine of Figure 2: Ts=1000, Tw=100, all-port.
+PAPER_MACHINE = MachineParams(ts=1000.0, tw=100.0, ports=None)

@@ -1,0 +1,99 @@
+"""The CC-cube algorithm abstraction (§2.4 / ref [9]).
+
+A *CC-cube algorithm* is a loop of ``K`` iterations, each consisting of a
+computation followed by an exchange through one hypercube dimension — the
+same dimension on every node.  Exchange phase ``e`` of the one-sided
+Jacobi sweep is exactly a CC-cube algorithm with ``K = 2**e - 1`` and link
+sequence ``D_e`` (the divisions that separate phases are barriers, which
+is why pipelining applies per phase and not across the whole sweep).
+
+:class:`CCCubeAlgorithm` is a small value object tying together the link
+sequence, per-iteration message volume, and (optionally) per-iteration
+computation cost; the pipelining transformation and the cost models
+consume it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import PipeliningError, SequenceError
+
+__all__ = ["CCCubeAlgorithm"]
+
+
+@dataclass(frozen=True)
+class CCCubeAlgorithm:
+    """A CC-cube algorithm: ``K`` compute+exchange iterations.
+
+    Attributes
+    ----------
+    links:
+        The link used by each iteration's exchange (length ``K``).  All
+        nodes use the same link in the same iteration — the defining
+        CC-cube property.
+    message_elems:
+        Matrix elements exchanged per node per iteration (the block of A
+        and U columns in the Jacobi case: ``2 * m * m / 2**(d+1)``).
+    comp_time:
+        Computation time per iteration (0 for the communication-only
+        models of Figure 2).
+    """
+
+    links: Tuple[int, ...]
+    message_elems: float
+    comp_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        links = tuple(int(x) for x in self.links)
+        if not links:
+            raise SequenceError("a CC-cube algorithm needs >= 1 iteration")
+        if min(links) < 0:
+            raise SequenceError("link identifiers must be non-negative")
+        if self.message_elems <= 0:
+            raise PipeliningError(
+                f"message size must be positive, got {self.message_elems}")
+        if self.comp_time < 0:
+            raise PipeliningError("computation time must be non-negative")
+        object.__setattr__(self, "links", links)
+
+    # ------------------------------------------------------------------
+    @property
+    def K(self) -> int:
+        """Number of iterations."""
+        return len(self.links)
+
+    @property
+    def dimension_span(self) -> int:
+        """``max(link) + 1`` — the subcube dimension the algorithm spans."""
+        return max(self.links) + 1
+
+    def links_array(self) -> np.ndarray:
+        """The link sequence as an ``int64`` array."""
+        return np.asarray(self.links, dtype=np.int64)
+
+    @classmethod
+    def for_exchange_phase(cls, sequence: Tuple[int, ...], m: int, d: int,
+                           comp_time: float = 0.0) -> "CCCubeAlgorithm":
+        """The CC-cube algorithm of one Jacobi exchange phase.
+
+        Parameters
+        ----------
+        sequence:
+            The phase's link sequence ``D_e``.
+        m:
+            Matrix dimension (columns).
+        d:
+            Hypercube dimension; each transition ships one block of both A
+            and U: ``2 * m * (m / 2**(d+1)) = m*m / 2**d`` elements.
+        """
+        if m < (1 << (d + 1)):
+            raise PipeliningError(
+                f"matrix dimension m={m} must be >= 2**(d+1)={1 << (d + 1)} "
+                f"(at least one column per block)")
+        return cls(links=tuple(sequence),
+                   message_elems=(float(m) * float(m)) / float(1 << d),
+                   comp_time=comp_time)

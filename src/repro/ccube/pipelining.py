@@ -1,0 +1,210 @@
+"""The communication-pipelining transformation (§2.4, ref [9]).
+
+Communication pipelining splits each iteration's computation into ``Q``
+*packets* and software-pipelines the loop: after computing packet ``q`` of
+iteration ``t`` a node immediately sends it on the iteration's link
+``D[t]``, then proceeds with packet ``q+1`` of iteration ``t`` *and* the
+just-arrived packet ``q`` of iteration ``t+1``... so consecutive stages
+send on *windows* of the link sequence, up to ``Q`` links at a time
+(shallow mode, ``Q <= K``) or up to ``K`` links (deep mode, ``Q > K``).
+
+Stage structure (standard software pipelining; the kernel stage count
+``K - Q + 1`` corrects an off-by-one in the paper's prose — DESIGN.md
+§5.3):
+
+* packet ``(t, q)`` (iteration ``t in [0, K)``, packet ``q in [0, Q)``)
+  is computed in stage ``s = t + q`` and its communication happens at the
+  end of that stage on link ``D[t]``;
+* stage ``s in [0, K+Q-2]`` therefore communicates the link window
+  ``{D[t] : max(0, s-Q+1) <= t <= min(s, K-1)}``;
+* the first ``min(Q,K) - 1`` stages (growing prefixes) are the
+  **prologue**, the last ``min(Q,K) - 1`` (shrinking suffixes) the
+  **epilogue**, everything in between the **kernel** — full windows of
+  length ``min(Q, K)``.
+
+Packets sharing a link within a stage are combined into one message
+("a-b-c" notation of the paper).  Total packet transmissions over all
+stages is exactly ``K * Q`` — conservation that the test-suite checks for
+every (K, Q).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from ..errors import PipeliningError
+from .model import CCCubeAlgorithm
+
+__all__ = ["Stage", "PipelinedSchedule"]
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One stage of a pipelined CC-cube algorithm.
+
+    Attributes
+    ----------
+    index:
+        Stage number ``s`` in ``[0, K+Q-2]``.
+    t_lo, t_hi:
+        The window of original iterations whose packets this stage
+        handles: ``t in [t_lo, t_hi]`` (inclusive).
+    """
+
+    index: int
+    t_lo: int
+    t_hi: int
+
+    @property
+    def width(self) -> int:
+        """Number of packets computed/communicated in this stage."""
+        return self.t_hi - self.t_lo + 1
+
+    def packets(self, Q: int) -> Iterator[Tuple[int, int]]:
+        """The ``(iteration, packet)`` pairs of this stage.
+
+        Packet ``q`` of iteration ``t`` satisfies ``t + q == index``, so
+        within a stage the packets are ``(t, index - t)`` for the window's
+        ``t`` values.  Yielded in increasing ``t`` (the order a node
+        processes them, preserving intra-iteration packet order).
+        """
+        for t in range(self.t_lo, self.t_hi + 1):
+            q = self.index - t
+            if not 0 <= q < Q:  # pragma: no cover - internal guard
+                raise PipeliningError(
+                    f"stage {self.index}: packet ({t},{q}) outside Q={Q}")
+            yield (t, q)
+
+
+class PipelinedSchedule:
+    """The pipelined form of a CC-cube algorithm for pipelining degree Q.
+
+    Parameters
+    ----------
+    algorithm:
+        The original CC-cube algorithm (link sequence + message size).
+    Q:
+        Pipelining degree, ``>= 1``.  ``Q = 1`` degenerates to the original
+        algorithm (one stage per iteration, one full-size message each).
+
+    Examples
+    --------
+    The paper's shallow example (K=7, links ``0102010``, Q=3):
+
+    >>> from repro.ccube.model import CCCubeAlgorithm
+    >>> alg = CCCubeAlgorithm((0, 1, 0, 2, 0, 1, 0), message_elems=30.0)
+    >>> sched = PipelinedSchedule(alg, 3)
+    >>> [sched.stage_links(s) for s in range(sched.num_stages)]
+    ... # doctest: +NORMALIZE_WHITESPACE
+    [(0,), (0, 1), (0, 1, 0), (1, 0, 2), (0, 2, 0), (2, 0, 1), (0, 1, 0),
+     (1, 0), (0,)]
+    """
+
+    def __init__(self, algorithm: CCCubeAlgorithm, Q: int) -> None:
+        if Q < 1:
+            raise PipeliningError(f"pipelining degree must be >= 1, got {Q}")
+        self.algorithm = algorithm
+        self.Q = int(Q)
+
+    # ------------------------------------------------------------------
+    @property
+    def K(self) -> int:
+        """Iterations of the original algorithm."""
+        return self.algorithm.K
+
+    @property
+    def is_deep(self) -> bool:
+        """Deep pipelining mode (``Q > K``)."""
+        return self.Q > self.K
+
+    @property
+    def num_stages(self) -> int:
+        """``K + Q - 1`` stages in total."""
+        return self.K + self.Q - 1
+
+    @property
+    def packet_elems(self) -> float:
+        """Matrix elements per packet: ``message_elems / Q``."""
+        return self.algorithm.message_elems / self.Q
+
+    @property
+    def kernel_width(self) -> int:
+        """Window length of kernel stages: ``min(Q, K)``."""
+        return min(self.Q, self.K)
+
+    @property
+    def prologue_stages(self) -> range:
+        """Stage indices of the prologue (``min(Q,K) - 1`` stages)."""
+        return range(0, self.kernel_width - 1)
+
+    @property
+    def kernel_stages(self) -> range:
+        """Stage indices of the kernel (``|K - Q| + 1`` stages)."""
+        return range(self.kernel_width - 1,
+                     self.num_stages - (self.kernel_width - 1))
+
+    @property
+    def epilogue_stages(self) -> range:
+        """Stage indices of the epilogue (``min(Q,K) - 1`` stages)."""
+        return range(self.num_stages - (self.kernel_width - 1),
+                     self.num_stages)
+
+    # ------------------------------------------------------------------
+    def stage(self, s: int) -> Stage:
+        """The stage object for stage index ``s``."""
+        if not 0 <= s < self.num_stages:
+            raise PipeliningError(
+                f"stage {s} outside [0, {self.num_stages})")
+        return Stage(index=s,
+                     t_lo=max(0, s - self.Q + 1),
+                     t_hi=min(s, self.K - 1))
+
+    def stages(self) -> Iterator[Stage]:
+        """Iterate over all stages in order."""
+        for s in range(self.num_stages):
+            yield self.stage(s)
+
+    def stage_links(self, s: int) -> Tuple[int, ...]:
+        """The (multi-)set of links used by stage ``s``, in window order.
+
+        Repeated links mean several packets combined into one message on
+        that link.
+        """
+        st = self.stage(s)
+        return self.algorithm.links[st.t_lo:st.t_hi + 1]
+
+    def stage_link_multiset(self, s: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(links, packet_counts)`` of stage ``s`` after combining."""
+        window = np.asarray(self.stage_links(s), dtype=np.int64)
+        links, counts = np.unique(window, return_counts=True)
+        return links, counts
+
+    # ------------------------------------------------------------------
+    def total_packets(self) -> int:
+        """Packets transmitted over the whole schedule (must be ``K*Q``)."""
+        return sum(self.stage(s).width for s in range(self.num_stages))
+
+    def validate(self) -> None:
+        """Check packet conservation and per-packet uniqueness."""
+        if self.total_packets() != self.K * self.Q:
+            raise PipeliningError(
+                f"packet conservation violated: {self.total_packets()} != "
+                f"{self.K} * {self.Q}")
+        seen = set()
+        for st in self.stages():
+            for tq in st.packets(self.Q):
+                if tq in seen:
+                    raise PipeliningError(f"packet {tq} scheduled twice")
+                seen.add(tq)
+
+    def describe(self) -> str:
+        """Short human-readable summary."""
+        mode = "deep" if self.is_deep else "shallow"
+        return (f"pipelined CC-cube: K={self.K}, Q={self.Q} ({mode}), "
+                f"{self.num_stages} stages "
+                f"({len(self.prologue_stages)} prologue / "
+                f"{len(self.kernel_stages)} kernel / "
+                f"{len(self.epilogue_stages)} epilogue)")

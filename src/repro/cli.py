@@ -1,0 +1,230 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Usage (after ``pip install -e .``)::
+
+    repro-jacobi table1
+    repro-jacobi table2 [--matrices N] [--max-m M] [--tol T]
+    repro-jacobi figure2 [--dims 5..15] [--m-exponents 18,23,32]
+    repro-jacobi appendix
+    repro-jacobi sequences [--max-e E]
+    repro-jacobi demo [--m M] [--d D] [--ordering NAME]
+
+or ``python -m repro.cli <command>``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from .analysis.table1 import compute_table1, render_table1
+
+    rows = compute_table1(tuple(range(args.min_e, args.max_e + 1)))
+    print(render_table1(rows))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from .analysis.table2 import compute_table2, default_configs, render_table2
+
+    rows = compute_table2(configs=default_configs(args.max_m),
+                          num_matrices=args.matrices,
+                          tol=args.tol, seed=args.seed)
+    print(render_table2(rows))
+    print(f"\n(matrices per config: {args.matrices}, tol: {args.tol:g}, "
+          f"seed: {args.seed})")
+    return 0
+
+
+def _cmd_figure2(args: argparse.Namespace) -> int:
+    from .analysis.figure2 import compute_figure2, render_figure2
+    from .ccube.machine import MachineParams
+
+    machine = MachineParams(ts=args.ts, tw=args.tw,
+                            ports=None if args.ports <= 0 else args.ports)
+    ms = [1 << int(x) for x in args.m_exponents.split(",")]
+    lo, hi = (int(x) for x in args.dims.split(".."))
+    panels = compute_figure2(ms=ms, dims=range(lo, hi + 1), machine=machine)
+    print(render_figure2(panels, chart=not args.no_chart))
+    return 0
+
+
+def _cmd_appendix(_args: argparse.Namespace) -> int:
+    from .analysis.appendix import render_appendix
+
+    print(render_appendix())
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from .analysis.timeline import render_phase_timelines
+
+    print(render_phase_timelines(args.e, args.q))
+    return 0
+
+
+def _cmd_crossover(args: argparse.Namespace) -> int:
+    from .analysis.crossover import compute_crossover_table, \
+        render_crossover_table
+
+    dims = tuple(int(x) for x in args.dims.split(","))
+    print(render_crossover_table(compute_crossover_table(dims=dims)))
+    return 0
+
+
+def _cmd_calibration(args: argparse.Namespace) -> int:
+    from .analysis.calibration import compute_calibration, render_calibration
+
+    rows = compute_calibration(m=args.m, d=args.d,
+                               num_matrices=args.matrices)
+    print(render_calibration(rows, m=args.m, d=args.d))
+    print("\n(quadratic convergence: decades of tolerance cost ~1 sweep;")
+    print(" see EXPERIMENTS.md on comparing absolute counts with Table 2)")
+    return 0
+
+
+def _cmd_sequences(args: argparse.Namespace) -> int:
+    from .analysis.report import render_table
+    from .orderings import (alpha, alpha_lower_bound, degree, get_ordering)
+
+    rows = []
+    for e in range(1, args.max_e + 1):
+        row: List[object] = [e, alpha_lower_bound(e)]
+        for name in ("br", "permuted-br", "degree4", "min-alpha"):
+            try:
+                seq = get_ordering(name, max(e, 1)).phase_sequence(e)
+                row.append(f"{alpha(seq)}/{degree(seq)}")
+            except Exception:
+                row.append("-")
+        rows.append(row)
+    print(render_table(
+        ["e", "LB(alpha)", "br a/deg", "p-br a/deg", "deg4 a/deg",
+         "min-a a/deg"],
+        rows, title="Link sequences: alpha / degree per family"))
+    if args.show:
+        for name in ("br", "permuted-br", "degree4", "min-alpha"):
+            try:
+                seq = get_ordering(name, args.show).phase_sequence(args.show)
+                print(f"{name:12s} D_{args.show} = "
+                      f"<{''.join(str(x) for x in seq)}>")
+            except Exception as exc:
+                print(f"{name:12s} D_{args.show} unavailable: {exc}")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from .jacobi import ParallelOneSidedJacobi, make_symmetric_test_matrix
+    from .orderings import get_ordering
+    from .simulator import PipelinedParallelJacobi
+
+    print(f"Simulated {1 << args.d}-node multi-port {args.d}-cube, "
+          f"ordering '{args.ordering}', matrix {args.m}x{args.m}")
+    A = make_symmetric_test_matrix(args.m, rng=args.seed)
+    ordering = get_ordering(args.ordering, args.d)
+    t0 = time.perf_counter()
+    res = ParallelOneSidedJacobi(ordering, tol=args.tol).solve(A)
+    t1 = time.perf_counter()
+    ref = np.linalg.eigh(A)[0]
+    err = float(np.abs(res.eigenvalues - ref).max())
+    print(f"  un-pipelined: {res.sweeps} sweeps, max |eig - eigh| = "
+          f"{err:.2e}, simulated comm time = {res.trace.total_cost:,.0f}, "
+          f"wall = {t1 - t0:.2f}s")
+    t0 = time.perf_counter()
+    pres = PipelinedParallelJacobi(ordering, tol=args.tol).solve(A)
+    t1 = time.perf_counter()
+    perr = float(np.abs(pres.eigenvalues - ref).max())
+    print(f"  pipelined:    {pres.sweeps} sweeps, max |eig - eigh| = "
+          f"{perr:.2e}, simulated comm time = {pres.trace.total_cost:,.0f}, "
+          f"wall = {t1 - t0:.2f}s")
+    gain = res.trace.total_cost / pres.trace.total_cost
+    print(f"  multi-port communication speed-up: {gain:.2f}x "
+          f"(widest step used {pres.trace.max_links_in_step()} links)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    p = argparse.ArgumentParser(
+        prog="repro-jacobi",
+        description="Reproduce 'Jacobi Orderings for Multi-Port Hypercubes'"
+                    " (IPPS 1998)")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    t1 = sub.add_parser("table1", help="alpha of permuted-BR vs lower bound")
+    t1.add_argument("--min-e", type=int, default=7)
+    t1.add_argument("--max-e", type=int, default=14)
+    t1.set_defaults(func=_cmd_table1)
+
+    t2 = sub.add_parser("table2", help="convergence rate of the orderings")
+    t2.add_argument("--matrices", type=int, default=30,
+                    help="matrices per configuration (paper: 30)")
+    t2.add_argument("--max-m", type=int, default=64)
+    t2.add_argument("--tol", type=float, default=1e-9)
+    t2.add_argument("--seed", type=int, default=1998)
+    t2.set_defaults(func=_cmd_table2)
+
+    f2 = sub.add_parser("figure2", help="relative communication cost curves")
+    f2.add_argument("--dims", default="5..15",
+                    help="hypercube dimension range lo..hi")
+    f2.add_argument("--m-exponents", default="18,23,32",
+                    help="comma-separated log2 of matrix dimensions")
+    f2.add_argument("--ts", type=float, default=1000.0)
+    f2.add_argument("--tw", type=float, default=100.0)
+    f2.add_argument("--ports", type=int, default=0,
+                    help="simultaneous links per node (<=0 = all-port)")
+    f2.add_argument("--no-chart", action="store_true")
+    f2.set_defaults(func=_cmd_figure2)
+
+    ap = sub.add_parser("appendix", help="verify the appendix lemmas/theorems")
+    ap.set_defaults(func=_cmd_appendix)
+
+    tl = sub.add_parser("timeline",
+                        help="link-usage Gantt of a pipelined phase")
+    tl.add_argument("--e", type=int, default=5)
+    tl.add_argument("--q", type=int, default=4)
+    tl.set_defaults(func=_cmd_timeline)
+
+    co = sub.add_parser("crossover",
+                        help="where degree-4 vs permuted-BR wins")
+    co.add_argument("--dims", default="6,8,10,12,14")
+    co.set_defaults(func=_cmd_crossover)
+
+    ca = sub.add_parser("calibration",
+                        help="stopping-rule sensitivity of Table 2")
+    ca.add_argument("--m", type=int, default=32)
+    ca.add_argument("--d", type=int, default=3)
+    ca.add_argument("--matrices", type=int, default=10)
+    ca.set_defaults(func=_cmd_calibration)
+
+    sq = sub.add_parser("sequences", help="inspect the link sequences")
+    sq.add_argument("--max-e", type=int, default=10)
+    sq.add_argument("--show", type=int, default=0,
+                    help="print the full sequences for this e")
+    sq.set_defaults(func=_cmd_sequences)
+
+    dm = sub.add_parser("demo", help="solve one eigenproblem on the simulator")
+    dm.add_argument("--m", type=int, default=64)
+    dm.add_argument("--d", type=int, default=3)
+    dm.add_argument("--ordering", default="degree4")
+    dm.add_argument("--tol", type=float, default=1e-9)
+    dm.add_argument("--seed", type=int, default=0)
+    dm.set_defaults(func=_cmd_demo)
+    return p
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch the library's failures with a single ``except`` clause while letting
+programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "TopologyError",
+    "SequenceError",
+    "OrderingError",
+    "ScheduleError",
+    "PipeliningError",
+    "ConvergenceError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class TopologyError(ReproError):
+    """An operation referenced a node, link, or dimension outside the cube.
+
+    Raised, for instance, when asking for the neighbour of a node along a
+    dimension that is not smaller than the hypercube dimension, or when a
+    node label is out of ``[0, 2**d)``.
+    """
+
+
+class SequenceError(ReproError):
+    """A link sequence is structurally invalid for its intended use.
+
+    Examples: a sequence that is not a Hamiltonian path of the e-cube, a
+    sequence with the wrong length (must be ``2**e - 1``), or a sequence
+    using link identifiers outside ``[0, e)``.
+    """
+
+
+class OrderingError(ReproError):
+    """A Jacobi ordering cannot be constructed for the requested parameters.
+
+    Examples: requesting the minimum-alpha ordering for ``e > 6`` (only
+    known for small cubes), or a degree-4 sequence for ``e < 4``.
+    """
+
+
+class ScheduleError(ReproError):
+    """A sweep schedule is inconsistent (wrong step count, bad transition)."""
+
+
+class PipeliningError(ReproError):
+    """Invalid communication-pipelining parameters.
+
+    Examples: a pipelining degree below 1, or a packet decomposition finer
+    than one matrix column in the packetised executor.
+    """
+
+
+class ConvergenceError(ReproError):
+    """The one-sided Jacobi iteration failed to converge within the sweep
+    budget requested by the caller."""
+
+    def __init__(self, message: str, sweeps: int | None = None,
+                 off_norm: float | None = None) -> None:
+        super().__init__(message)
+        #: Number of sweeps executed before giving up (if known).
+        self.sweeps = sweeps
+        #: Last observed off-diagonal measure (if known).
+        self.off_norm = off_norm
+
+
+class SimulationError(ReproError):
+    """The machine simulator detected an inconsistent state.
+
+    Examples: two blocks routed to the same slot of the same node, or a
+    message sent along a link that is not attached to the sending node.
+    """

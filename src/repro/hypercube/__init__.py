@@ -1,0 +1,43 @@
+"""Hypercube topology substrate.
+
+Provides the d-cube value object (:class:`~repro.hypercube.Hypercube`),
+Hamiltonian-path machinery in link-sequence form, and link permutations —
+the three ingredients the paper's ordering constructions are built from.
+"""
+
+from .topology import (
+    Hypercube,
+    gray_code,
+    hamming_distance,
+    inverse_gray_code,
+    popcount,
+)
+from .paths import (
+    enumerate_hamiltonian_sequences,
+    is_hamiltonian_path,
+    path_end,
+    path_nodes,
+    prefix_xor,
+    random_hamiltonian_sequence,
+    sequence_dimension,
+    validate_sequence,
+)
+from .permutations import LinkPermutation, sweep_rotation
+
+__all__ = [
+    "Hypercube",
+    "gray_code",
+    "hamming_distance",
+    "inverse_gray_code",
+    "popcount",
+    "prefix_xor",
+    "path_nodes",
+    "path_end",
+    "is_hamiltonian_path",
+    "validate_sequence",
+    "sequence_dimension",
+    "enumerate_hamiltonian_sequences",
+    "random_hamiltonian_sequence",
+    "LinkPermutation",
+    "sweep_rotation",
+]

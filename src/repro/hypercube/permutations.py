@@ -1,0 +1,196 @@
+"""Link (dimension) permutations.
+
+Two places in the paper permute link identifiers:
+
+* **Property 1** (§3.2): applying a permutation of the link identifiers to
+  a subsequence of a Hamiltonian link sequence that is itself a Hamiltonian
+  path of a subcube yields another Hamiltonian link sequence.  This is the
+  engine behind the permuted-BR construction.
+* **Inter-sweep rotation** (§2.3.1): sweep ``s`` uses links permuted by
+  ``sigma_s(i) = (sigma_{s-1}(i) - 1) mod d``, i.e. a cyclic rotation that
+  returns to the identity after ``d`` sweeps.
+
+:class:`LinkPermutation` is a small immutable permutation-of-``range(n)``
+value object with composition, inversion, conjugation and vectorised
+application to link sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import SequenceError
+
+__all__ = ["LinkPermutation", "sweep_rotation"]
+
+
+@dataclass(frozen=True)
+class LinkPermutation:
+    """An immutable permutation of the link identifiers ``0 .. n-1``.
+
+    ``mapping[i]`` is the image of link ``i``.
+
+    Examples
+    --------
+    >>> p = LinkPermutation((3, 2, 1, 0))     # i <-> 3 - i
+    >>> p(0), p(3)
+    (3, 0)
+    >>> p.apply([0, 1, 0, 2, 0, 1, 0])
+    (3, 2, 3, 1, 3, 2, 3)
+    """
+
+    mapping: Tuple[int, ...]
+    _inverse: Tuple[int, ...] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        m = tuple(int(x) for x in self.mapping)
+        n = len(m)
+        if sorted(m) != list(range(n)):
+            raise SequenceError(
+                f"not a permutation of range({n}): {self.mapping!r}")
+        inv = [0] * n
+        for i, j in enumerate(m):
+            inv[j] = i
+        object.__setattr__(self, "mapping", m)
+        object.__setattr__(self, "_inverse", tuple(inv))
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def identity(cls, n: int) -> "LinkPermutation":
+        """The identity permutation on ``range(n)``."""
+        return cls(tuple(range(n)))
+
+    @classmethod
+    def from_transpositions(cls, n: int,
+                            pairs: Iterable[Tuple[int, int]]
+                            ) -> "LinkPermutation":
+        """Permutation of ``range(n)`` given by disjoint transpositions.
+
+        The transformation tables of the permuted-BR construction (Figure 3
+        of the paper) are exactly lists of disjoint transpositions.
+        """
+        m = list(range(n))
+        seen = set()
+        for a, b in pairs:
+            a, b = int(a), int(b)
+            if not (0 <= a < n and 0 <= b < n):
+                raise SequenceError(
+                    f"transposition ({a},{b}) outside range({n})")
+            if a in seen or b in seen or (a == b and a in seen):
+                raise SequenceError(
+                    f"transpositions are not disjoint at ({a},{b})")
+            seen.add(a)
+            seen.add(b)
+            m[a], m[b] = m[b], m[a]
+        return cls(tuple(m))
+
+    @classmethod
+    def reversal(cls, n: int) -> "LinkPermutation":
+        """The order-reversing permutation ``i -> n - 1 - i``."""
+        return cls(tuple(range(n - 1, -1, -1)))
+
+    @classmethod
+    def rotation(cls, n: int, shift: int) -> "LinkPermutation":
+        """The cyclic rotation ``i -> (i + shift) mod n``."""
+        if n <= 0:
+            raise SequenceError("rotation requires n >= 1")
+        return cls(tuple((i + shift) % n for i in range(n)))
+
+    # ------------------------------------------------------------------
+    # Group operations
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Size of the permuted domain."""
+        return len(self.mapping)
+
+    def __call__(self, link: int) -> int:
+        """Image of a single link identifier."""
+        return self.mapping[int(link)]
+
+    def inverse(self) -> "LinkPermutation":
+        """The inverse permutation."""
+        return LinkPermutation(self._inverse)
+
+    def compose(self, other: "LinkPermutation") -> "LinkPermutation":
+        """Functional composition ``self AFTER other``.
+
+        ``(self.compose(other))(x) == self(other(x))``.
+        """
+        if self.n != other.n:
+            raise SequenceError(
+                f"cannot compose permutations of sizes {self.n} and {other.n}")
+        return LinkPermutation(tuple(self.mapping[other.mapping[i]]
+                                     for i in range(self.n)))
+
+    def conjugate(self, by: "LinkPermutation") -> "LinkPermutation":
+        """The conjugate ``by o self o by^{-1}``.
+
+        The permuted-BR compounding rule (§3.2.1): when an inner
+        transformation's base transposition set ``tau`` must be applied to a
+        region already permuted by ``pi``, the effective permutation is the
+        conjugate ``pi o tau o pi^{-1}`` — it transposes ``pi(a) <-> pi(b)``
+        for every base pair ``(a, b)``.
+        """
+        return by.compose(self).compose(by.inverse())
+
+    def is_identity(self) -> bool:
+        """Whether this is the identity permutation."""
+        return all(i == j for i, j in enumerate(self.mapping))
+
+    # ------------------------------------------------------------------
+    # Action on sequences
+    # ------------------------------------------------------------------
+    def apply(self, seq: Sequence[int]) -> Tuple[int, ...]:
+        """Apply the permutation elementwise to a link sequence."""
+        arr = np.asarray(seq, dtype=np.int64)
+        if arr.size == 0:
+            return ()
+        if arr.min() < 0 or arr.max() >= self.n:
+            raise SequenceError(
+                f"sequence uses links outside range({self.n})")
+        table = np.asarray(self.mapping, dtype=np.int64)
+        return tuple(int(x) for x in table[arr])
+
+    def apply_array(self, seq: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`apply` returning an ``int64`` array."""
+        table = np.asarray(self.mapping, dtype=np.int64)
+        return table[np.asarray(seq, dtype=np.int64)]
+
+    def extended(self, n: int) -> "LinkPermutation":
+        """The same permutation viewed inside a larger domain ``range(n)``
+        (new points are fixed)."""
+        if n < self.n:
+            raise SequenceError(
+                f"cannot shrink a permutation of size {self.n} to {n}")
+        return LinkPermutation(self.mapping + tuple(range(self.n, n)))
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"LinkPermutation({self.mapping!r})"
+
+
+def sweep_rotation(d: int, sweep: int) -> LinkPermutation:
+    """The inter-sweep link permutation ``sigma_s`` of §2.3.1.
+
+    ``sigma_0`` is the identity and
+    ``sigma_s(i) = (sigma_{s-1}(i) - 1) mod d``, i.e.
+    ``sigma_s(i) = (i - s) mod d``.  After ``d`` sweeps the links are used
+    again in the first sweep's order.
+
+    Parameters
+    ----------
+    d:
+        Hypercube dimension (number of physical links per node).
+    sweep:
+        Sweep index, 0 for the first sweep.
+    """
+    if d <= 0:
+        raise SequenceError("sweep_rotation requires d >= 1")
+    if sweep < 0:
+        raise SequenceError("sweep index must be >= 0")
+    return LinkPermutation.rotation(d, -(sweep % d))

@@ -1,0 +1,255 @@
+"""Hypercube (d-cube) topology primitives.
+
+A *d-cube* multicomputer consists of ``2**d`` processors labelled
+``0 .. 2**d - 1`` such that two processors are neighbours (joined by a
+physical link) exactly when their labels differ in one bit.  The link
+joining nodes whose labels differ in bit ``i`` is called *link i* (also
+*dimension i*); ``i`` ranges over ``[0, d)``.
+
+This module provides an immutable :class:`Hypercube` value object plus the
+bit-twiddling helpers the rest of the library builds on (neighbourhoods,
+subcube decomposition, Gray codes, Hamming distances).  Everything is pure
+and cheap; nothing here allocates per-node state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from ..errors import TopologyError
+
+__all__ = [
+    "Hypercube",
+    "hamming_distance",
+    "gray_code",
+    "inverse_gray_code",
+    "popcount",
+]
+
+
+def popcount(x: int) -> int:
+    """Number of set bits of a non-negative integer.
+
+    Uses ``int.bit_count`` when available (Python >= 3.10) and falls back
+    to ``bin(x).count`` otherwise.
+    """
+    if x < 0:
+        raise ValueError("popcount requires a non-negative integer")
+    try:
+        return x.bit_count()  # type: ignore[attr-defined]
+    except AttributeError:  # pragma: no cover - Python < 3.10
+        return bin(x).count("1")
+
+
+def hamming_distance(a: int, b: int) -> int:
+    """Hamming distance between two node labels.
+
+    In a hypercube the Hamming distance equals the length of the shortest
+    path between the nodes.
+    """
+    return popcount(a ^ b)
+
+
+def gray_code(i: int) -> int:
+    """The i-th binary-reflected Gray code.
+
+    Consecutive Gray codes differ in exactly one bit, so
+    ``[gray_code(i) for i in range(2**d)]`` is a Hamiltonian path of the
+    d-cube (and a convenient cross-check for the path machinery in
+    :mod:`repro.hypercube.paths`).
+    """
+    if i < 0:
+        raise ValueError("gray_code requires a non-negative integer")
+    return i ^ (i >> 1)
+
+
+def inverse_gray_code(g: int) -> int:
+    """Inverse of :func:`gray_code`: the rank of Gray code ``g``."""
+    if g < 0:
+        raise ValueError("inverse_gray_code requires a non-negative integer")
+    i = 0
+    while g:
+        i ^= g
+        g >>= 1
+    return i
+
+
+@dataclass(frozen=True)
+class Hypercube:
+    """An immutable d-dimensional hypercube topology.
+
+    Parameters
+    ----------
+    dim:
+        The dimension ``d``.  The cube has ``2**d`` nodes and
+        ``d * 2**(d-1)`` links.  ``dim = 0`` (a single node) is allowed and
+        useful as a recursion base case.
+
+    Examples
+    --------
+    >>> cube = Hypercube(3)
+    >>> cube.num_nodes
+    8
+    >>> cube.neighbor(2, 1)   # node 2 uses link 1 to reach node 0
+    0
+    """
+
+    dim: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.dim, (int, np.integer)):
+            raise TopologyError(f"dimension must be an int, got {self.dim!r}")
+        if self.dim < 0:
+            raise TopologyError(f"dimension must be >= 0, got {self.dim}")
+        # Normalise NumPy integers so downstream bit arithmetic is exact.
+        object.__setattr__(self, "dim", int(self.dim))
+
+    # ------------------------------------------------------------------
+    # Size accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of processors, ``2**d``."""
+        return 1 << self.dim
+
+    @property
+    def num_links(self) -> int:
+        """Number of physical links, ``d * 2**(d-1)``."""
+        return self.dim * (1 << (self.dim - 1)) if self.dim else 0
+
+    @property
+    def links(self) -> range:
+        """The link (dimension) identifiers, ``range(d)``."""
+        return range(self.dim)
+
+    @property
+    def nodes(self) -> range:
+        """The node labels, ``range(2**d)``."""
+        return range(self.num_nodes)
+
+    # ------------------------------------------------------------------
+    # Validation helpers
+    # ------------------------------------------------------------------
+    def check_node(self, node: int) -> int:
+        """Validate a node label and return it as a plain ``int``."""
+        n = int(node)
+        if not 0 <= n < self.num_nodes:
+            raise TopologyError(
+                f"node {node} outside [0, {self.num_nodes}) of a {self.dim}-cube")
+        return n
+
+    def check_link(self, link: int) -> int:
+        """Validate a link (dimension) identifier and return it as ``int``."""
+        ln = int(link)
+        if not 0 <= ln < self.dim:
+            raise TopologyError(
+                f"link {link} outside [0, {self.dim}) of a {self.dim}-cube")
+        return ln
+
+    # ------------------------------------------------------------------
+    # Neighbourhood
+    # ------------------------------------------------------------------
+    def neighbor(self, node: int, link: int) -> int:
+        """The node reached from ``node`` through ``link``.
+
+        This is an involution: ``neighbor(neighbor(n, i), i) == n``.
+        """
+        return self.check_node(node) ^ (1 << self.check_link(link))
+
+    def neighbors(self, node: int) -> List[int]:
+        """All ``d`` neighbours of ``node`` in link order."""
+        n = self.check_node(node)
+        return [n ^ (1 << i) for i in range(self.dim)]
+
+    def neighbor_array(self, link: int) -> np.ndarray:
+        """Vectorised neighbour map for one dimension.
+
+        Returns an ``int64`` array ``nbr`` of length ``2**d`` with
+        ``nbr[v] = v XOR 2**link`` — the partner of every node in a
+        transition through ``link``.  Used by the lockstep simulator to
+        route all messages of a transition at once.
+        """
+        self.check_link(link)
+        return np.arange(self.num_nodes, dtype=np.int64) ^ (1 << int(link))
+
+    def are_neighbors(self, a: int, b: int) -> bool:
+        """Whether two nodes share a physical link."""
+        return hamming_distance(self.check_node(a), self.check_node(b)) == 1
+
+    def link_between(self, a: int, b: int) -> int:
+        """The dimension of the link joining two neighbouring nodes.
+
+        Raises :class:`~repro.errors.TopologyError` if the nodes are not
+        neighbours.
+        """
+        x = self.check_node(a) ^ self.check_node(b)
+        if popcount(x) != 1:
+            raise TopologyError(f"nodes {a} and {b} are not neighbours")
+        return x.bit_length() - 1
+
+    def distance(self, a: int, b: int) -> int:
+        """Shortest-path (Hamming) distance between two nodes."""
+        return hamming_distance(self.check_node(a), self.check_node(b))
+
+    # ------------------------------------------------------------------
+    # Subcube structure
+    # ------------------------------------------------------------------
+    def subcube_of(self, node: int, split_dim: int) -> int:
+        """Which half (0 or 1) of the cube a node falls in when the cube is
+        split along ``split_dim``.
+
+        Splitting an (e+1)-cube along its highest dimension into two e-cubes
+        is the recursion underlying both the BR sweep structure and the
+        degree-4 correctness proof (Figure 1 of the paper).
+        """
+        return (self.check_node(node) >> self.check_link(split_dim)) & 1
+
+    def subcube_nodes(self, split_dim: int, half: int) -> List[int]:
+        """The nodes of one half of the cube split along ``split_dim``."""
+        self.check_link(split_dim)
+        if half not in (0, 1):
+            raise TopologyError(f"half must be 0 or 1, got {half}")
+        return [n for n in self.nodes if (n >> split_dim) & 1 == half]
+
+    def subcube_members(self, fixed_bits: dict) -> List[int]:
+        """Nodes of the subcube obtained by pinning selected dimensions.
+
+        Parameters
+        ----------
+        fixed_bits:
+            Mapping ``dimension -> bit value``; the returned subcube is the
+            set of nodes agreeing with every pinned bit.
+        """
+        for d_, b in fixed_bits.items():
+            self.check_link(d_)
+            if b not in (0, 1):
+                raise TopologyError(f"bit for dimension {d_} must be 0/1")
+        out = []
+        for n in self.nodes:
+            if all(((n >> d_) & 1) == b for d_, b in fixed_bits.items()):
+                out.append(n)
+        return out
+
+    # ------------------------------------------------------------------
+    # Traversals
+    # ------------------------------------------------------------------
+    def gray_path(self) -> List[int]:
+        """The binary-reflected-Gray-code Hamiltonian path starting at 0."""
+        return [gray_code(i) for i in range(self.num_nodes)]
+
+    def edges(self) -> Iterator[Tuple[int, int, int]]:
+        """Iterate over all links as ``(low_node, high_node, dimension)``.
+
+        Each physical link appears exactly once with ``low_node`` the
+        endpoint whose bit ``dimension`` is 0.
+        """
+        for n in self.nodes:
+            for i in range(self.dim):
+                if not (n >> i) & 1:
+                    yield (n, n ^ (1 << i), i)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Hypercube(dim={self.dim})"

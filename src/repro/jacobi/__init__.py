@@ -1,0 +1,61 @@
+"""One-sided Jacobi eigensolvers: rotation kernels, sequential reference,
+and the simulated-parallel block algorithm."""
+
+from .blocks import BlockDistribution, cross_block_rounds, round_robin_rounds
+from .convergence import (
+    DEFAULT_TOL,
+    extract_eigenpairs,
+    off_frobenius,
+    offdiag_measure,
+)
+from .onesided import OneSidedResult, make_symmetric_test_matrix, onesided_jacobi
+from .parallel import ParallelOneSidedJacobi, ParallelResult
+from .rotations import (
+    DEFAULT_PAIR_TOL,
+    RotationStats,
+    rotate_pairs,
+    rotation_angles,
+)
+from .svd import SvdResult, onesided_svd, parallel_svd
+from .testmatrices import (
+    clustered_spectrum_matrix,
+    graded_spectrum_matrix,
+    near_diagonal_matrix,
+    rank_deficient_matrix,
+    symmetric_with_spectrum,
+    wilkinson_matrix,
+)
+from .twosided import TwoSidedResult, twosided_jacobi
+
+__all__ = [
+    "BlockDistribution",
+    "cross_block_rounds",
+    "round_robin_rounds",
+    "DEFAULT_TOL",
+    "offdiag_measure",
+    "off_frobenius",
+    "extract_eigenpairs",
+    "OneSidedResult",
+    "onesided_jacobi",
+    "make_symmetric_test_matrix",
+    "ParallelOneSidedJacobi",
+    "ParallelResult",
+    "DEFAULT_PAIR_TOL",
+    "RotationStats",
+    "rotate_pairs",
+    "rotation_angles",
+    # SVD (the orderings' original application, Gao & Thomas [7])
+    "SvdResult",
+    "onesided_svd",
+    "parallel_svd",
+    # structured test matrices
+    "symmetric_with_spectrum",
+    "clustered_spectrum_matrix",
+    "graded_spectrum_matrix",
+    "rank_deficient_matrix",
+    "near_diagonal_matrix",
+    "wilkinson_matrix",
+    # two-sided baseline
+    "TwoSidedResult",
+    "twosided_jacobi",
+]

@@ -1,0 +1,161 @@
+"""Column-block layout and pairing schedules.
+
+The parallel algorithm distributes the ``m`` columns of A and U into
+``2**(d+1)`` blocks, two per node (§2.3.1).  When ``m`` is not divisible
+the block sizes differ by at most one (the paper's footnote 1 — a slight
+load imbalance).
+
+Pairing schedules
+-----------------
+Rotations within one step must touch **disjoint** column pairs, so pairing
+the columns of two blocks (or all columns within one block) is itself
+organised in rounds of disjoint pairs:
+
+* :func:`cross_block_rounds` — all ``b1 * b2`` pairs between two blocks in
+  ``max(b1, b2)`` rounds (cyclic shifts);
+* :func:`round_robin_rounds` — all ``n(n-1)/2`` pairs within one block in
+  ``n-1`` (even ``n``) or ``n`` (odd) rounds (the classical circle
+  method).
+
+Both are exactly-once schedules; the test-suite checks the coverage
+property for every size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..errors import ScheduleError
+
+__all__ = [
+    "BlockDistribution",
+    "round_robin_rounds",
+    "cross_block_rounds",
+]
+
+
+def round_robin_rounds(n: int) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Rounds of disjoint pairs covering all ``C(n, 2)`` pairs of
+    ``range(n)`` (circle method).
+
+    Returns a list of ``(left, right)`` index-array pairs; each round's
+    pairs are disjoint, and over all rounds every unordered pair appears
+    exactly once.  ``n <= 1`` yields no rounds.
+    """
+    if n < 0:
+        raise ScheduleError(f"n must be >= 0, got {n}")
+    if n <= 1:
+        return []
+    odd = n % 2 == 1
+    circle = list(range(n)) + ([n] if odd else [])  # n = bye marker
+    size = len(circle)
+    rounds: List[Tuple[np.ndarray, np.ndarray]] = []
+    arr = circle[:]
+    for _ in range(size - 1):
+        left, right = [], []
+        for k in range(size // 2):
+            a, b = arr[k], arr[size - 1 - k]
+            if a < n and b < n:
+                left.append(a)
+                right.append(b)
+        rounds.append((np.asarray(left, dtype=np.intp),
+                       np.asarray(right, dtype=np.intp)))
+        # rotate all but the first element
+        arr = [arr[0]] + [arr[-1]] + arr[1:-1]
+    return rounds
+
+
+def cross_block_rounds(b1: int, b2: int
+                       ) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Rounds of disjoint pairs covering all ``b1 * b2`` cross pairs.
+
+    Round ``t`` pairs left column ``i`` with right column
+    ``(i + t) mod n`` (``n = max(b1, b2)``), skipping indices outside the
+    actual block sizes; every (i, j) pair appears in exactly one round.
+
+    Returns ``(left_offsets, right_offsets)`` index arrays per round,
+    relative to each block's first column.
+    """
+    if b1 < 0 or b2 < 0:
+        raise ScheduleError("block sizes must be >= 0")
+    if b1 == 0 or b2 == 0:
+        return []
+    n = max(b1, b2)
+    rounds: List[Tuple[np.ndarray, np.ndarray]] = []
+    i = np.arange(n, dtype=np.intp)
+    for t in range(n):
+        j = (i + t) % n
+        mask = (i < b1) & (j < b2)
+        rounds.append((i[mask], j[mask]))
+    return rounds
+
+
+@dataclass(frozen=True)
+class BlockDistribution:
+    """The assignment of ``m`` columns to ``2**(d+1)`` blocks.
+
+    Block ``k`` owns the contiguous column range
+    ``[starts[k], starts[k+1])``; sizes differ by at most one.  Blocks are
+    identified by their index ``k`` — the same ids the sweep validator and
+    the simulator move around.
+
+    Attributes
+    ----------
+    m:
+        Total number of columns.
+    d:
+        Hypercube dimension (``2**(d+1)`` blocks).
+    """
+
+    m: int
+    d: int
+
+    def __post_init__(self) -> None:
+        if self.d < 0:
+            raise ScheduleError(f"dimension must be >= 0, got {self.d}")
+        if self.m < self.num_blocks:
+            raise ScheduleError(
+                f"m={self.m} columns cannot fill {self.num_blocks} blocks "
+                f"(need m >= 2**(d+1))")
+
+    @property
+    def num_blocks(self) -> int:
+        """``2**(d+1)``."""
+        return 1 << (self.d + 1)
+
+    @property
+    def starts(self) -> np.ndarray:
+        """Column range boundaries, length ``num_blocks + 1``."""
+        base, extra = divmod(self.m, self.num_blocks)
+        sizes = np.full(self.num_blocks, base, dtype=np.intp)
+        sizes[:extra] += 1
+        out = np.zeros(self.num_blocks + 1, dtype=np.intp)
+        np.cumsum(sizes, out=out[1:])
+        return out
+
+    def block_size(self, block: int) -> int:
+        """Number of columns of block ``block``."""
+        s = self.starts
+        return int(s[block + 1] - s[block])
+
+    def block_columns(self, block: int) -> np.ndarray:
+        """The column indices owned by block ``block``."""
+        s = self.starts
+        return np.arange(s[block], s[block + 1], dtype=np.intp)
+
+    @property
+    def max_block_size(self) -> int:
+        """Largest block (differs from the smallest by at most 1)."""
+        return -(-self.m // self.num_blocks)
+
+    @property
+    def is_balanced(self) -> bool:
+        """True when every block has the same number of columns."""
+        return self.m % self.num_blocks == 0
+
+    def columns_of_blocks(self) -> List[np.ndarray]:
+        """Column index arrays for all blocks, in block order."""
+        return [self.block_columns(k) for k in range(self.num_blocks)]

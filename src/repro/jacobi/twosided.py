@@ -1,0 +1,133 @@
+"""Classical two-sided Jacobi eigensolver (related-work baseline).
+
+The paper's introduction contrasts the one-sided method with the
+classical *two-sided* Jacobi iteration (its hypercube implementation is
+ref [3], Bischof 1987): rotations are applied from both sides,
+``A <- J^T A J``, explicitly annihilating the element ``(p, q)``.  The
+two-sided method needs the whole rows *and* columns ``p, q`` per
+rotation — which is exactly why the one-sided variant, touching only two
+columns, parallelises so much better (§1).
+
+This module provides the textbook cyclic two-sided solver as a numerical
+baseline: the test-suite checks that both methods produce the same
+eigensystems and comparable sweep counts on the paper's matrix
+distribution, grounding the "one-sided is the right parallel choice"
+premise in executable form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from ..errors import ConvergenceError
+from .convergence import DEFAULT_TOL
+
+__all__ = ["TwoSidedResult", "twosided_jacobi"]
+
+
+@dataclass
+class TwoSidedResult:
+    """Outcome of a two-sided Jacobi eigensolve.
+
+    Attributes
+    ----------
+    eigenvalues:
+        Ascending eigenvalues.
+    eigenvectors:
+        Orthonormal eigenvector columns matching ``eigenvalues``.
+    sweeps:
+        Sweeps executed.
+    converged:
+        Whether the off-norm tolerance was met.
+    off_history:
+        Relative off-diagonal Frobenius norm after each sweep.
+    """
+
+    eigenvalues: np.ndarray
+    eigenvectors: np.ndarray
+    sweeps: int
+    converged: bool
+    off_history: List[float] = field(default_factory=list)
+
+
+def _off_norm(A: np.ndarray) -> float:
+    off = A - np.diag(np.diag(A))
+    return float(np.linalg.norm(off))
+
+
+def twosided_jacobi(A0: np.ndarray,
+                    tol: float = DEFAULT_TOL,
+                    max_sweeps: int = 60,
+                    raise_on_no_convergence: bool = True) -> TwoSidedResult:
+    """Eigen-decompose a symmetric matrix with cyclic two-sided Jacobi.
+
+    Stops when ``off(A) / ||A0||_F <= tol`` (the natural two-sided
+    measure; comparable in strictness to the one-sided scaled defect).
+
+    Parameters
+    ----------
+    A0:
+        Symmetric ``(m, m)`` matrix.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> res = twosided_jacobi(np.array([[2.0, 1.0], [1.0, 2.0]]))
+    >>> np.allclose(res.eigenvalues, [1.0, 3.0])
+    True
+    """
+    A = np.asarray(A0, dtype=np.float64).copy()
+    if A.ndim != 2 or A.shape[0] != A.shape[1]:
+        raise ConvergenceError(f"square matrix expected, got {A.shape}")
+    if not np.allclose(A, A.T, atol=1e-12 * max(1.0, np.abs(A).max())):
+        raise ConvergenceError("two-sided Jacobi requires a symmetric matrix")
+    m = A.shape[0]
+    V = np.eye(m)
+    scale = max(float(np.linalg.norm(A)), np.finfo(np.float64).tiny)
+    off_history: List[float] = []
+    sweeps = 0
+    converged = _off_norm(A) / scale <= tol
+    while not converged and sweeps < max_sweeps:
+        for p in range(m - 1):
+            for q in range(p + 1, m):
+                apq = A[p, q]
+                if abs(apq) <= 1e-300:
+                    continue
+                # classical rotation annihilating (p, q)
+                theta = (A[q, q] - A[p, p]) / (2.0 * apq)
+                t = np.sign(theta) if theta != 0 else 1.0
+                t = t / (abs(theta) + np.sqrt(1.0 + theta * theta))
+                c = 1.0 / np.sqrt(1.0 + t * t)
+                s = t * c
+                # A <- J^T A J on rows/cols p, q
+                Ap = A[:, p].copy()
+                Aq = A[:, q].copy()
+                A[:, p] = c * Ap - s * Aq
+                A[:, q] = s * Ap + c * Aq
+                Ap = A[p, :].copy()
+                Aq = A[q, :].copy()
+                A[p, :] = c * Ap - s * Aq
+                A[q, :] = s * Ap + c * Aq
+                # keep exact symmetry of the rotated pair
+                A[p, q] = A[q, p] = 0.0
+                Vp = V[:, p].copy()
+                Vq = V[:, q].copy()
+                V[:, p] = c * Vp - s * Vq
+                V[:, q] = s * Vp + c * Vq
+        sweeps += 1
+        off = _off_norm(A) / scale
+        off_history.append(off)
+        converged = off <= tol
+    if not converged and raise_on_no_convergence:
+        raise ConvergenceError(
+            f"no convergence in {max_sweeps} sweeps", sweeps=sweeps,
+            off_norm=off_history[-1] if off_history else None)
+    lam = np.diag(A).copy()
+    order = np.argsort(lam, kind="stable")
+    return TwoSidedResult(eigenvalues=lam[order],
+                          eigenvectors=V[:, order],
+                          sweeps=sweeps, converged=converged,
+                          off_history=off_history)

@@ -1,0 +1,90 @@
+"""Jacobi orderings: the paper's core contribution.
+
+Link-sequence families (BR, permuted-BR, degree-4, minimum-alpha), their
+quality metrics (alpha, degree, window statistics), the sweep schedule
+builder, and the pair-coverage validator.
+"""
+
+from .base import (
+    BROrdering,
+    CustomOrdering,
+    Degree4Ordering,
+    JacobiOrdering,
+    MinAlphaOrdering,
+    ORDERING_NAMES,
+    PermutedBROrdering,
+    get_ordering,
+    register_ordering,
+    registered_orderings,
+)
+from .br import br_sequence, br_sequence_array, ruler_link
+from .degree4 import DEGREE4_MIN_E, degree4_sequence, e_sequence
+from .metrics import (
+    alpha,
+    alpha_lower_bound,
+    degree,
+    fraction_distinct_windows,
+    ideal_window_distinct,
+    ideal_window_max_multiplicity,
+    link_histogram,
+    window_distinct_counts,
+    window_max_multiplicities,
+    window_stats,
+)
+from .minalpha import (
+    MIN_ALPHA_MAX_E,
+    MIN_ALPHA_SEQUENCES,
+    min_alpha_sequence,
+    search_min_alpha_sequence,
+)
+from .permuted_br import (
+    num_transformations,
+    permuted_br_sequence,
+    permuted_br_sequence_array,
+    transformation_table,
+)
+from .rebalance import (
+    RebalancedBROrdering,
+    rebalanced_br_sequence,
+    rebalanced_br_sequence_array,
+)
+from .sweep import (
+    SweepSchedule,
+    Transition,
+    TransitionKind,
+    build_sweep_schedule,
+    sweep_length,
+)
+from .validate import (
+    CoverageReport,
+    check_pair_coverage,
+    default_layout,
+    simulate_sweep_pairings,
+)
+
+__all__ = [
+    # classes / registry
+    "JacobiOrdering", "BROrdering", "PermutedBROrdering", "Degree4Ordering",
+    "MinAlphaOrdering", "CustomOrdering", "ORDERING_NAMES", "get_ordering",
+    "register_ordering", "registered_orderings",
+    # sequences
+    "br_sequence", "br_sequence_array", "ruler_link",
+    "degree4_sequence", "e_sequence", "DEGREE4_MIN_E",
+    "min_alpha_sequence", "search_min_alpha_sequence",
+    "MIN_ALPHA_SEQUENCES", "MIN_ALPHA_MAX_E",
+    "permuted_br_sequence", "permuted_br_sequence_array",
+    "num_transformations", "transformation_table",
+    "RebalancedBROrdering", "rebalanced_br_sequence",
+    "rebalanced_br_sequence_array",
+    # metrics
+    "alpha", "alpha_lower_bound", "degree", "link_histogram",
+    "window_distinct_counts", "window_max_multiplicities", "window_stats",
+    "fraction_distinct_windows", "ideal_window_distinct",
+    "ideal_window_max_multiplicity",
+    # sweep machinery
+    "SweepSchedule", "Transition", "TransitionKind", "build_sweep_schedule",
+    "sweep_length",
+    # validation
+    "CoverageReport", "check_pair_coverage", "default_layout",
+    "simulate_sweep_pairings",
+]

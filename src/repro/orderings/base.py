@@ -1,0 +1,260 @@
+"""Jacobi ordering classes and registry.
+
+A *parallel Jacobi ordering* for a d-cube is, in this library, the choice
+of one link sequence ``D_e`` per exchange phase ``e in [1, d]``.  The rest
+of the sweep structure (division transitions, last transition, inter-sweep
+link rotation) is shared by every ordering — see
+:mod:`repro.orderings.sweep`.
+
+Concrete orderings:
+
+* :class:`BROrdering` — the baseline Block-Recursive ordering (§2.3.1).
+* :class:`PermutedBROrdering` — §3.2, near-optimal alpha for deep
+  pipelining.
+* :class:`Degree4Ordering` — §3.3, degree-4 windows for shallow
+  pipelining (falls back to BR for the phases ``e < 4`` where the
+  construction is undefined; those phases are the cheapest).
+* :class:`MinAlphaOrdering` — §3.1, optimal alpha, only for ``d <= 6``.
+* :class:`CustomOrdering` — any user-supplied family of valid
+  e-sequences, e.g. from
+  :func:`repro.hypercube.random_hamiltonian_sequence` or the
+  branch-and-bound search.
+
+Use :func:`get_ordering` to construct by name (``"br"``,
+``"permuted-br"``, ``"degree4"``, ``"min-alpha"``).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, Mapping, Sequence, Tuple, Type
+
+from ..errors import OrderingError
+from ..hypercube.paths import validate_sequence
+from .br import br_sequence
+from .degree4 import DEGREE4_MIN_E, degree4_sequence
+from .metrics import alpha
+from .minalpha import MIN_ALPHA_MAX_E, min_alpha_sequence
+from .permuted_br import permuted_br_sequence
+
+__all__ = [
+    "JacobiOrdering",
+    "BROrdering",
+    "PermutedBROrdering",
+    "Degree4Ordering",
+    "MinAlphaOrdering",
+    "CustomOrdering",
+    "ORDERING_NAMES",
+    "get_ordering",
+    "register_ordering",
+]
+
+
+class JacobiOrdering(ABC):
+    """A family of exchange-phase link sequences for a d-cube.
+
+    Subclasses implement :meth:`phase_sequence`; everything else (sweep
+    construction, validation, metrics) is generic.
+
+    Parameters
+    ----------
+    d:
+        Hypercube dimension; the machine has ``2**d`` nodes and the matrix
+        columns are distributed in ``2**(d+1)`` blocks.
+    """
+
+    #: Registry / display name; overridden by subclasses.
+    name: str = "abstract"
+
+    def __init__(self, d: int) -> None:
+        if d < 0:
+            raise OrderingError(f"hypercube dimension must be >= 0, got {d}")
+        self.d = int(d)
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def phase_sequence(self, e: int) -> Tuple[int, ...]:
+        """The link sequence ``D_e`` driving exchange phase ``e``.
+
+        Must be a valid e-sequence (Hamiltonian path of the e-cube) of
+        length ``2**e - 1`` over the alphabet ``[0, e)``.
+        """
+
+    # ------------------------------------------------------------------
+    def _check_phase(self, e: int) -> int:
+        if not 1 <= e <= self.d:
+            raise OrderingError(
+                f"exchange phase e={e} outside [1, {self.d}] for a "
+                f"{self.d}-cube")
+        return int(e)
+
+    def phase_alpha(self, e: int) -> int:
+        """``alpha(D_e)`` for this ordering's phase-``e`` sequence."""
+        return alpha(self.phase_sequence(self._check_phase(e)))
+
+    def validate(self) -> None:
+        """Check every phase sequence is a valid e-sequence.
+
+        Raises :class:`~repro.errors.SequenceError` on the first invalid
+        phase.  Cheap enough to run in tests for every ordering and every
+        practical ``d``.
+        """
+        for e in range(1, self.d + 1):
+            validate_sequence(self.phase_sequence(e), e)
+
+    def sweep_schedule(self, sweep: int = 0):
+        """The full transition schedule of sweep ``sweep`` (0-based).
+
+        Convenience wrapper around
+        :func:`repro.orderings.sweep.build_sweep_schedule`.
+        """
+        from .sweep import build_sweep_schedule
+
+        return build_sweep_schedule(self, sweep=sweep)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}(d={self.d})"
+
+
+class BROrdering(JacobiOrdering):
+    """The baseline Block-Recursive ordering (§2.3.1)."""
+
+    name = "br"
+
+    def phase_sequence(self, e: int) -> Tuple[int, ...]:
+        return br_sequence(self._check_phase(e))
+
+
+class PermutedBROrdering(JacobiOrdering):
+    """The permuted-BR ordering (§3.2): BR with rebalancing permutations.
+
+    Per the paper's footnote, ``D_e^{p-BR}`` is used for *all* phases, even
+    the small ones where a minimum-alpha sequence is known (the impact is
+    negligible because the small phases are the cheapest).
+    """
+
+    name = "permuted-br"
+
+    def phase_sequence(self, e: int) -> Tuple[int, ...]:
+        return permuted_br_sequence(self._check_phase(e))
+
+
+class Degree4Ordering(JacobiOrdering):
+    """The degree-4 ordering (§3.3).
+
+    Phases ``e >= 4`` use ``D_e^{D4}``; the construction is undefined below
+    that, so phases ``e <= 3`` fall back to the BR sequence (documented
+    deviation — see DESIGN.md §5.4).
+    """
+
+    name = "degree4"
+
+    def phase_sequence(self, e: int) -> Tuple[int, ...]:
+        e = self._check_phase(e)
+        if e >= DEGREE4_MIN_E:
+            return degree4_sequence(e)
+        return br_sequence(e)
+
+
+class MinAlphaOrdering(JacobiOrdering):
+    """The minimum-alpha ordering (§3.1); defined only for ``d <= 6``."""
+
+    name = "min-alpha"
+
+    def __init__(self, d: int) -> None:
+        super().__init__(d)
+        if d > MIN_ALPHA_MAX_E:
+            raise OrderingError(
+                f"the minimum-alpha ordering is only known for d <= "
+                f"{MIN_ALPHA_MAX_E}, got d={d}")
+
+    def phase_sequence(self, e: int) -> Tuple[int, ...]:
+        return min_alpha_sequence(self._check_phase(e))
+
+
+class CustomOrdering(JacobiOrdering):
+    """An ordering assembled from user-supplied phase sequences.
+
+    Parameters
+    ----------
+    d:
+        Hypercube dimension.
+    sequences:
+        Either a mapping ``e -> sequence`` covering every ``e in [1, d]``
+        or a callable ``e -> sequence``.  Sequences are validated on first
+        use.
+    name:
+        Display name (defaults to ``"custom"``).
+    """
+
+    def __init__(self, d: int,
+                 sequences: "Mapping[int, Sequence[int]] | Callable[[int], Sequence[int]]",
+                 name: str = "custom") -> None:
+        super().__init__(d)
+        self.name = name
+        self._sequences = sequences
+        self._cache: Dict[int, Tuple[int, ...]] = {}
+
+    def phase_sequence(self, e: int) -> Tuple[int, ...]:
+        e = self._check_phase(e)
+        if e not in self._cache:
+            if callable(self._sequences):
+                raw = self._sequences(e)
+            else:
+                try:
+                    raw = self._sequences[e]
+                except KeyError:
+                    raise OrderingError(
+                        f"custom ordering has no sequence for phase e={e}")
+            self._cache[e] = validate_sequence(raw, e)
+        return self._cache[e]
+
+
+#: Name -> class registry used by :func:`get_ordering` and the CLI.
+_REGISTRY: Dict[str, Type[JacobiOrdering]] = {
+    BROrdering.name: BROrdering,
+    PermutedBROrdering.name: PermutedBROrdering,
+    Degree4Ordering.name: Degree4Ordering,
+    MinAlphaOrdering.name: MinAlphaOrdering,
+}
+
+#: The built-in ordering family names (extensions registered later via
+#: :func:`register_ordering` are visible through
+#: :func:`registered_orderings`).
+ORDERING_NAMES = tuple(_REGISTRY)
+
+
+def registered_orderings() -> Tuple[str, ...]:
+    """All currently registered ordering names, including extensions
+    (e.g. ``"rebalanced-br"``)."""
+    return tuple(_REGISTRY)
+
+
+def register_ordering(cls: Type[JacobiOrdering]) -> Type[JacobiOrdering]:
+    """Register an ordering class under ``cls.name`` (decorator-friendly).
+
+    Allows downstream code to make new orderings reachable from
+    :func:`get_ordering` and the CLI.
+    """
+    if not issubclass(cls, JacobiOrdering):
+        raise OrderingError(f"{cls!r} is not a JacobiOrdering subclass")
+    if not cls.name or cls.name == "abstract":
+        raise OrderingError("ordering class must define a distinct 'name'")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_ordering(name: str, d: int) -> JacobiOrdering:
+    """Construct a registered ordering by name for a d-cube.
+
+    Examples
+    --------
+    >>> get_ordering("degree4", 5).phase_alpha(5)
+    9
+    """
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise OrderingError(
+            f"unknown ordering {name!r}; known: {sorted(_REGISTRY)}")
+    return cls(d)

@@ -1,0 +1,74 @@
+"""The Block-Recursive (BR) link sequence (§2.3.1).
+
+The BR ordering (Gao & Thomas 1988; fully specified by Mantharam & Eberlein
+1993) drives exchange phase ``e`` with the sequence
+
+.. math::
+
+    D_1 = \\langle 0 \\rangle, \\qquad
+    D_i = \\langle D_{i-1},\\, i-1,\\, D_{i-1} \\rangle ,
+
+e.g. ``D_4 = <010201030102010>``.  ``D_e^BR`` is a Hamiltonian path of the
+e-cube (the same recursion as the binary-reflected Gray code), but it is
+maximally *unbalanced*: link 0 occupies every odd position, so
+``alpha(D_e^BR) = 2**(e-1)`` and every window of length ``Q`` contains at
+least ``Q/2`` copies of link 0 — which is why communication pipelining can
+improve the BR algorithm by at most a factor of two (§2.4).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import SequenceError
+
+__all__ = ["br_sequence", "br_sequence_array", "ruler_link"]
+
+
+@lru_cache(maxsize=None)
+def br_sequence(e: int) -> Tuple[int, ...]:
+    """The BR link sequence ``D_e^BR`` of length ``2**e - 1``.
+
+    Parameters
+    ----------
+    e:
+        Exchange-phase index (subcube dimension), ``e >= 1``.
+
+    Examples
+    --------
+    >>> br_sequence(3)
+    (0, 1, 0, 2, 0, 1, 0)
+    """
+    if e < 1:
+        raise SequenceError(f"BR sequence requires e >= 1, got {e}")
+    return tuple(int(x) for x in br_sequence_array(e))
+
+
+def br_sequence_array(e: int) -> np.ndarray:
+    """``D_e^BR`` as an ``int64`` array, built without recursion.
+
+    Position ``t`` (1-based) of the BR sequence carries the *ruler
+    function*: the index of the lowest set bit of ``t``.  This identity —
+    the recursion ``<D_{i-1}, i-1, D_{i-1}>`` is precisely how the ruler
+    sequence nests — lets us emit sequences for large ``e`` (the Figure-2
+    sweep needs ``e`` up to 15, i.e. 32767 elements) in one vectorised
+    expression.
+    """
+    if e < 1:
+        raise SequenceError(f"BR sequence requires e >= 1, got {e}")
+    t = np.arange(1, (1 << e), dtype=np.int64)
+    # lowest set bit index == ruler function
+    lowest = t & -t
+    return np.log2(lowest).astype(np.int64)
+
+
+def ruler_link(t: int) -> int:
+    """The link used by 1-based transition ``t`` of any BR sequence
+    (independent of ``e`` as long as ``t < 2**e``): the index of the lowest
+    set bit of ``t``."""
+    if t < 1:
+        raise SequenceError(f"transition index must be >= 1, got {t}")
+    return (t & -t).bit_length() - 1

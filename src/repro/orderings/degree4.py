@@ -1,0 +1,106 @@
+"""The degree-4 link sequence (§3.3).
+
+Shallow pipelining uses length-``Q`` windows of the link sequence; the
+useful property there is not a small alpha but a high *degree* — windows
+should consist of distinct links.  The degree-4 ordering uses
+
+.. math::
+
+    E_3 = \\langle 0123012 \\rangle, \\qquad
+    E_i = \\langle E_{i-1},\\, i,\\, E_{i-1} \\rangle \\ (4 \\le i < e),
+    \\qquad
+    D_e^{D4} = \\langle E_{e-1},\\, 1,\\, E_{e-1} \\rangle \\ (e \\ge 4).
+
+Almost every length-4 window of ``D_e^D4`` consists of four distinct links
+(only the four windows straddling the central ``1`` repeat), so shallow
+pipelining with ``Q = 4`` sends nearly every stage's packets on four
+different links — a communication-cost reduction of about 4x over the BR
+ordering in every scenario (Figure 2).
+
+Correctness (Theorem 1): ``D_e^D4`` is an e-sequence.  The induction of
+Lemma 1 — the endpoints of ``E_{e-1}``... path lie one dimension-1 hop
+apart — is reproduced numerically in the test-suite; the library verifies
+hamiltonicity directly via prefix XORs.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import OrderingError
+
+__all__ = ["e_sequence", "degree4_sequence", "degree4_sequence_array",
+           "DEGREE4_MIN_E"]
+
+#: Smallest exchange-phase index for which the degree-4 sequence exists.
+DEGREE4_MIN_E = 4
+
+
+@lru_cache(maxsize=None)
+def e_sequence(i: int) -> Tuple[int, ...]:
+    """The auxiliary sequence ``E_i`` of Definition 3 (``i >= 3``).
+
+    ``E_i`` has length ``2**i - 1`` and uses links ``{0,1,2,3} ∪ {4..i}``
+    — note it is *not* an i-sequence (its alphabet reaches ``i``); only the
+    final composition ``D_e^D4`` is a Hamiltonian path.
+    """
+    if i < 3:
+        raise OrderingError(f"E_i is defined for i >= 3, got {i}")
+    if i == 3:
+        return (0, 1, 2, 3, 0, 1, 2)
+    inner = e_sequence(i - 1)
+    return inner + (i,) + inner
+
+
+def degree4_sequence(e: int) -> Tuple[int, ...]:
+    """The degree-4 link sequence ``D_e^D4`` (``e >= 4``).
+
+    Examples
+    --------
+    >>> "".join(map(str, degree4_sequence(5)))
+    '0123012401230121012301240123012'
+    """
+    if e < DEGREE4_MIN_E:
+        raise OrderingError(
+            f"the degree-4 sequence is defined for e >= {DEGREE4_MIN_E}, "
+            f"got {e}; use a BR or minimum-alpha sequence for smaller phases")
+    half = e_sequence(e - 1)
+    return half + (1,) + half
+
+
+def degree4_sequence_array(e: int) -> np.ndarray:
+    """``D_e^D4`` as an ``int64`` array, built without deep recursion.
+
+    Like the BR sequence, ``D_e^D4`` is a nested-separator construction, so
+    it can be emitted positionally: 1-based position ``t`` carries
+
+    * the central separator ``1`` at ``t = 2**(e-1)``;
+    * separator ``j`` (``4 <= j <= e-1``) at positions whose lowest set bit
+      is ``2**j``... more precisely at multiples of ``2**j`` that are not
+      multiples of ``2**(j+1)``;
+    * inside the innermost 7-blocks (``t mod 8 != 0`` padding), the E_3
+      pattern ``0123012``.
+    """
+    if e < DEGREE4_MIN_E:
+        raise OrderingError(
+            f"the degree-4 sequence is defined for e >= {DEGREE4_MIN_E}, "
+            f"got {e}")
+    n = (1 << e) - 1
+    t = np.arange(1, n + 1, dtype=np.int64)
+    # Base pattern: within each block of 8 positions, positions 1..7 carry
+    # E_3 = 0123012 and position 0 (a multiple of 8) is a separator slot.
+    base = np.array([-1, 0, 1, 2, 3, 0, 1, 2], dtype=np.int64)
+    out = base[t % 8]
+    # Separator slots: lowest set bit of t has index >= 3; separator value
+    # is that index + 1 shifted... E_i places link i at its centre, i.e. at
+    # multiples of 2**(i-1) not multiples of 2**i, for i in [4, e-1].  The
+    # top-level separator (centre of the full sequence) is link 1.
+    sep = t[out == -1]
+    lowest_idx = np.log2(sep & -sep).astype(np.int64)
+    values = lowest_idx + 1          # centre of E_{idx+1} carries idx + 1
+    values[sep == (1 << (e - 1))] = 1  # the global centre carries link 1
+    out[out == -1] = values
+    return out

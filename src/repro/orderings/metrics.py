@@ -1,0 +1,186 @@
+"""Quality metrics of link sequences: alpha, degree, and window statistics.
+
+Section 3 of the paper evaluates a candidate sequence ``D_e`` through two
+numbers:
+
+* **alpha** — the maximum number of repetitions of one link in the whole
+  sequence.  In deep pipelining every kernel stage sends one packet per
+  element of ``D_e``; packets sharing a link are combined, so the busiest
+  link carries ``alpha`` packets and the stage costs ``e*Ts + alpha*S*Tw``
+  on an all-port cube.  The lower bound is ``ceil((2**e - 1) / e)``.
+
+* **degree** (Definition 2) — the largest window size ``n`` such that the
+  majority of length-``n`` windows consist of pairwise-distinct links while
+  the majority of length-``n+1`` windows do not.  In shallow pipelining a
+  stage uses a length-``Q`` window of ``D_e``; a sequence of degree ``n``
+  lets ``Q = n`` packets travel on distinct links, reducing communication
+  cost by a factor of about ``n``.
+
+The window statistics (number of distinct links and maximum multiplicity
+per sliding window) also feed the cost model in :mod:`repro.ccube.cost`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import SequenceError
+
+__all__ = [
+    "link_histogram",
+    "alpha",
+    "alpha_lower_bound",
+    "window_distinct_counts",
+    "window_max_multiplicities",
+    "window_stats",
+    "fraction_distinct_windows",
+    "degree",
+    "ideal_window_distinct",
+    "ideal_window_max_multiplicity",
+]
+
+
+def _as_array(seq: Sequence[int]) -> np.ndarray:
+    arr = np.asarray(seq, dtype=np.int64)
+    if arr.ndim != 1:
+        raise SequenceError(f"link sequence must be 1-D, got shape {arr.shape}")
+    if arr.size == 0:
+        raise SequenceError("link sequence must be non-empty")
+    if arr.min() < 0:
+        raise SequenceError("link identifiers must be non-negative")
+    return arr
+
+
+def link_histogram(seq: Sequence[int]) -> Dict[int, int]:
+    """Number of occurrences of every link identifier in the sequence.
+
+    Links in ``[0, max(seq)]`` that never occur are reported with count 0,
+    which makes imbalance immediately visible.
+    """
+    arr = _as_array(seq)
+    counts = np.bincount(arr)
+    return {int(i): int(c) for i, c in enumerate(counts)}
+
+
+def alpha(seq: Sequence[int]) -> int:
+    """``alpha(D)``: maximum number of repetitions of one link in ``D``.
+
+    For the BR sequence ``alpha(D_e^BR) = 2**(e-1)`` (link 0 appears in
+    every other position); the paper's orderings drive alpha towards the
+    lower bound :func:`alpha_lower_bound`.
+    """
+    arr = _as_array(seq)
+    return int(np.bincount(arr).max())
+
+
+def alpha_lower_bound(e: int) -> int:
+    """``ceil((2**e - 1) / e)`` — the minimum possible alpha of an
+    e-sequence (§3.1).
+
+    Every link in ``[0, e)`` must occur at least once (otherwise the
+    sequence cannot span the e-cube), and the ``2**e - 1`` elements are
+    spread over ``e`` links, so some link occurs at least this often.
+    """
+    if e < 1:
+        raise SequenceError(f"alpha lower bound requires e >= 1, got {e}")
+    return ((1 << e) - 1 + e - 1) // e
+
+
+def _sliding_window_counts(arr: np.ndarray, q: int) -> np.ndarray:
+    """Occurrence counts per link per window, shape ``(n_windows, n_links)``.
+
+    Implemented as a difference of cumulative one-hot sums so the cost is
+    O(len * n_links) NumPy work rather than a Python loop over windows.
+    """
+    n = arr.size
+    n_links = int(arr.max()) + 1
+    onehot = np.zeros((n + 1, n_links), dtype=np.int64)
+    onehot[np.arange(1, n + 1), arr] = 1
+    csum = np.cumsum(onehot, axis=0)
+    return csum[q:] - csum[:-q]
+
+
+def window_distinct_counts(seq: Sequence[int], q: int) -> np.ndarray:
+    """Distinct-link count of every length-``q`` sliding window.
+
+    Returns an array of length ``len(seq) - q + 1``.  In an all-port model
+    a stage with window ``w`` pays one start-up per distinct link of ``w``.
+    """
+    arr = _as_array(seq)
+    if not 1 <= q <= arr.size:
+        raise SequenceError(f"window length {q} outside [1, {arr.size}]")
+    counts = _sliding_window_counts(arr, q)
+    return (counts > 0).sum(axis=1)
+
+
+def window_max_multiplicities(seq: Sequence[int], q: int) -> np.ndarray:
+    """Maximum link multiplicity of every length-``q`` sliding window.
+
+    Packets sharing a link within a stage are combined into one message, so
+    the busiest link of the window determines the stage's transmission time.
+    """
+    arr = _as_array(seq)
+    if not 1 <= q <= arr.size:
+        raise SequenceError(f"window length {q} outside [1, {arr.size}]")
+    counts = _sliding_window_counts(arr, q)
+    return counts.max(axis=1)
+
+
+def window_stats(seq: Sequence[int], q: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Both window statistics in one pass: (distinct counts, max mults)."""
+    arr = _as_array(seq)
+    if not 1 <= q <= arr.size:
+        raise SequenceError(f"window length {q} outside [1, {arr.size}]")
+    counts = _sliding_window_counts(arr, q)
+    return (counts > 0).sum(axis=1), counts.max(axis=1)
+
+
+def fraction_distinct_windows(seq: Sequence[int], q: int) -> float:
+    """Fraction of length-``q`` windows whose elements are pairwise
+    distinct."""
+    mults = window_max_multiplicities(seq, q)
+    return float(np.mean(mults == 1))
+
+
+def degree(seq: Sequence[int], majority: float = 0.5) -> int:
+    """Definition 2: the degree of a link sequence.
+
+    The degree is the largest ``n`` such that *the majority* of length-``n``
+    windows consist of pairwise-distinct elements while the majority of
+    length-``n+1`` windows do not.  ``majority`` is the threshold fraction
+    (strictly-greater comparison; the paper's "majority" = 0.5).
+
+    ``D_e^BR`` has degree 2 for every e; ``D_e^D4`` has degree 4 (only the
+    four windows straddling the central separator repeat a link).
+    """
+    arr = _as_array(seq)
+    best = 0
+    for n in range(1, arr.size + 1):
+        if fraction_distinct_windows(arr, n) > majority:
+            best = n
+        else:
+            break
+    return best
+
+
+def ideal_window_distinct(q: int, e: int) -> int:
+    """Distinct-link count of a length-``q`` window of an *ideal* sequence.
+
+    Section 3.3 describes the desirable (open-problem) sequence: any window
+    of length ``Q <= e`` consists of distinct elements, and longer windows
+    repeat every link equally.  Used for the lower-bound curve of Figure 2.
+    """
+    if q < 1 or e < 1:
+        raise SequenceError("ideal window stats require q >= 1 and e >= 1")
+    return min(q, e)
+
+
+def ideal_window_max_multiplicity(q: int, e: int) -> int:
+    """Maximum multiplicity of a length-``q`` window of an ideal sequence:
+    ``ceil(q / e)``."""
+    if q < 1 or e < 1:
+        raise SequenceError("ideal window stats require q >= 1 and e >= 1")
+    return -(-q // e)

@@ -1,0 +1,174 @@
+"""Minimum-alpha link sequences (§3.1).
+
+For deep pipelining the only figure of merit of ``D_e`` is ``alpha`` — the
+busiest link's repetition count — so the best possible sequence is a
+Hamiltonian path of the e-cube with minimum alpha.  Finding one is NP-hard;
+the paper reports exhaustively-found optima for ``e < 7``, all of which
+meet the lower bound ``ceil((2**e - 1)/e)``:
+
+======  =========================================================  ======
+``e``   sequence                                                   alpha
+======  =========================================================  ======
+2       ``010``                                                    2
+3       ``0102101``                                                3
+4       ``010203212303121``                                        4
+5       ``0102010301021412321230323414323``                        7
+6       (63 elements, see :data:`MIN_ALPHA_SEQUENCES`)             11
+======  =========================================================  ======
+
+This module hard-codes the paper's sequences (machine-validated in the
+test-suite) and provides :func:`search_min_alpha_sequence`, a
+branch-and-bound search that re-derives optimal sequences for small ``e``
+from scratch — both as independent verification of the published tables
+and as a tool for experimenting with other alphabet-balance objectives.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import OrderingError, SequenceError
+from ..hypercube.paths import validate_sequence
+from .metrics import alpha, alpha_lower_bound
+
+__all__ = [
+    "MIN_ALPHA_SEQUENCES",
+    "MIN_ALPHA_MAX_E",
+    "min_alpha_sequence",
+    "search_min_alpha_sequence",
+]
+
+#: Largest e for which a minimum-alpha sequence is known (paper §3.1).
+MIN_ALPHA_MAX_E = 6
+
+
+def _parse(digits: str) -> Tuple[int, ...]:
+    return tuple(int(c) for c in digits)
+
+
+#: The published minimum-alpha sequences, keyed by ``e``.
+#: ``e = 1`` is added for completeness (the 1-cube has a single path).
+MIN_ALPHA_SEQUENCES: Dict[int, Tuple[int, ...]] = {
+    1: _parse("0"),
+    2: _parse("010"),
+    3: _parse("0102101"),
+    4: _parse("010203212303121"),
+    5: _parse("0102010301021412321230323414323"),
+    6: _parse("010201030102010401021312521312"
+              "4323132343"
+              "50542453542414345254345"),
+}
+
+
+def min_alpha_sequence(e: int, validate: bool = True) -> Tuple[int, ...]:
+    """The published minimum-alpha sequence ``D_e^{min-alpha}``.
+
+    Parameters
+    ----------
+    e:
+        Exchange-phase index; must be ``1 <= e <= 6`` (the search is
+        intractable beyond that — the very motivation for the permuted-BR
+        construction).
+    validate:
+        Re-check hamiltonicity before returning (cheap; on by default).
+
+    Raises
+    ------
+    OrderingError
+        If ``e`` is outside the known range.
+    """
+    if e not in MIN_ALPHA_SEQUENCES:
+        raise OrderingError(
+            f"minimum-alpha sequences are only known for e in "
+            f"[1, {MIN_ALPHA_MAX_E}], got {e}; use the permuted-BR ordering "
+            f"for larger cubes")
+    seq = MIN_ALPHA_SEQUENCES[e]
+    if validate:
+        validate_sequence(seq, e)
+    return seq
+
+
+def search_min_alpha_sequence(e: int,
+                              alpha_budget: Optional[int] = None,
+                              node_limit: Optional[int] = None
+                              ) -> Optional[Tuple[int, ...]]:
+    """Branch-and-bound search for a Hamiltonian path with small alpha.
+
+    Searches for an e-sequence whose alpha does not exceed ``alpha_budget``
+    (default: the lower bound ``ceil((2**e-1)/e)``); returns ``None`` when
+    the budget admits no path (or ``node_limit`` search nodes were
+    exhausted — reported via :class:`~repro.errors.OrderingError` so an
+    inconclusive search is never confused with a proof of infeasibility).
+
+    The search fixes the start node at 0 (link sequences are start-node
+    independent) and prunes a branch as soon as
+
+    * some link's usage already exceeds the budget, or
+    * the remaining steps cannot be covered even if every link not yet at
+      budget is used to capacity.
+
+    Practical for ``e <= 4`` in milliseconds and ``e = 5`` in seconds; the
+    published ``e = 6`` optimum is beyond a casual search (use the stored
+    sequence).
+
+    Examples
+    --------
+    >>> seq = search_min_alpha_sequence(3)
+    >>> from repro.orderings.metrics import alpha
+    >>> alpha(seq)
+    3
+    """
+    if e < 1:
+        raise OrderingError(f"search requires e >= 1, got {e}")
+    budget = alpha_lower_bound(e) if alpha_budget is None else int(alpha_budget)
+    if budget < 1:
+        raise OrderingError(f"alpha budget must be >= 1, got {alpha_budget}")
+    n = 1 << e
+    total = n - 1
+    visited = bytearray(n)
+    visited[0] = 1
+    usage = [0] * e
+    seq: list = []
+    explored = 0
+
+    def capacity_left() -> int:
+        return sum(budget - u for u in usage)
+
+    def rec(pos: int) -> Optional[Tuple[int, ...]]:
+        nonlocal explored
+        if len(seq) == total:
+            return tuple(seq)
+        explored += 1
+        if node_limit is not None and explored > node_limit:
+            raise OrderingError(
+                f"search aborted after {node_limit} nodes (inconclusive)")
+        if capacity_left() < total - len(seq):
+            return None
+        # Explore least-used links first: spreads usage and finds balanced
+        # paths early.
+        for link in sorted(range(e), key=usage.__getitem__):
+            if usage[link] >= budget:
+                continue
+            nxt = pos ^ (1 << link)
+            if visited[nxt]:
+                continue
+            visited[nxt] = 1
+            usage[link] += 1
+            seq.append(link)
+            found = rec(nxt)
+            if found is not None:
+                return found
+            seq.pop()
+            usage[link] -= 1
+            visited[nxt] = 0
+        return None
+
+    result = rec(0)
+    if result is not None:
+        got = alpha(result)
+        if got > budget:  # pragma: no cover - internal consistency guard
+            raise SequenceError(
+                f"search returned alpha {got} above budget {budget}")
+    return result

@@ -1,0 +1,156 @@
+"""The permuted-BR link sequence (§3.2).
+
+``D_e^{p-BR}`` is obtained from ``D_e^BR`` by a cascade of link
+permutations that re-balance the wildly skewed link histogram of the BR
+sequence (link ``i`` appears ``2**(e-1-i)`` times).  Each transformation is
+applied to *every other* subsequence at one nesting level of the BR
+recursion, so by Property 1 the result remains a Hamiltonian path; the
+permutations pair the most-used link with the least-used link, halving the
+imbalance at every level.
+
+Construction (transformation ``k = 0 .. S-1``):
+
+* level ``k+1`` of the BR recursion splits the sequence into ``2**(k+1)``
+  subsequences of length ``2**(e-k-1) - 1`` (each a Hamiltonian path of an
+  (e-k-1)-subcube), separated by single higher links;
+* the *base* permutation of transformation ``k`` transposes
+  ``i <-> L_k - 1 - i`` for ``i in [0, L_k)``, where ``L_k = (e-1)/2**k``;
+* the base permutation is applied to the 2nd, 4th, 6th, ... subsequence of
+  level ``k+1`` — but *conjugated* by whatever permutations earlier
+  transformations already applied to the enclosing subsequences ("the
+  permutation ... is derived by compounding", §3.2.1).
+
+For ``e - 1`` a power of two this reproduces the paper's worked examples
+exactly (``D_5^{p-BR}``, Figure 3's transposition tables for ``e = 17``)
+and the appendix shows ``alpha -> 1.25 x`` the lower bound.  For other
+``e`` the paper leaves the ranges unspecified (its analysis assumes
+``e - 1 = 2**S``); we use ``L_k = ceil((e-1)/2**k)`` — see
+``DESIGN.md §5.5`` — and report the resulting alpha next to the paper's
+Table 1.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from math import ceil
+from typing import List, Tuple
+
+import numpy as np
+
+from ..errors import OrderingError
+from ..hypercube.permutations import LinkPermutation
+from .br import br_sequence_array
+
+__all__ = [
+    "permuted_br_sequence",
+    "permuted_br_sequence_array",
+    "num_transformations",
+    "base_transposition",
+    "transformation_table",
+]
+
+
+def num_transformations(e: int) -> int:
+    """Number of transformations applied to ``D_e^BR``.
+
+    ``log2(e-1)`` when ``e - 1`` is a power of two; in general, every level
+    whose base-permutation range still contains at least two links, i.e.
+    the number of ``k >= 0`` with ``ceil((e-1)/2**k) >= 2``.
+    """
+    if e < 2:
+        return 0
+    k = 0
+    while ceil((e - 1) / (1 << k)) >= 2:
+        k += 1
+    return k
+
+
+def _range_at(e: int, k: int) -> int:
+    """``L_k``: the size of the link range permuted by transformation k."""
+    return ceil((e - 1) / (1 << k))
+
+
+def base_transposition(e: int, k: int) -> LinkPermutation:
+    """The base permutation ``tau_k`` of transformation ``k``.
+
+    Transposes ``i <-> L_k - 1 - i`` over ``i in [0, L_k)`` (§3.2.1) —
+    most-frequent link with least-frequent, second-most with second-least,
+    and so on — embedded in the full domain ``range(e)``.
+    """
+    lk = _range_at(e, k)
+    if lk < 2:
+        raise OrderingError(
+            f"transformation {k} of e={e} has empty range (L_k={lk})")
+    if lk - 1 > e - k - 2:
+        # Guard required by Property 1: the permuted subsequences span the
+        # dimensions [0, e-k-2]; the transposition must stay inside.
+        # This cannot trigger for L_k = ceil((e-1)/2^k) (equality at k=0),
+        # but protects against alternative conventions.
+        raise OrderingError(
+            f"transposition range L_k={lk} leaves the (e-k-1)-subcube span")
+    pairs = [(i, lk - 1 - i) for i in range(lk // 2)]
+    return LinkPermutation.from_transpositions(e, pairs)
+
+
+def transformation_table(e: int) -> List[List[Tuple[int, LinkPermutation]]]:
+    """The full transformation plan: for each ``k``, the list of
+    ``(subsequence_index, effective_permutation)`` pairs.
+
+    Subsequence indices are 0-based at level ``k+1`` (the paper's "2nd,
+    4th, ..." are the odd indices here).  The effective permutation of an
+    odd subsequence ``j`` is the base ``tau_k`` conjugated by the
+    composition of every earlier base permutation whose transformed
+    subsequence encloses ``j`` — reproducing Figure 3 of the paper for
+    ``e = 17``.
+    """
+    if e < 1:
+        raise OrderingError(f"permuted-BR requires e >= 1, got {e}")
+    plan: List[List[Tuple[int, LinkPermutation]]] = []
+    n_tr = num_transformations(e)
+    bases = [base_transposition(e, k) for k in range(n_tr)]
+    for k in range(n_tr):
+        level_plan: List[Tuple[int, LinkPermutation]] = []
+        for j in range(1, 1 << (k + 1), 2):
+            # Compose the base permutations of enclosing transformed
+            # subsequences, outermost first.
+            pi = LinkPermutation.identity(e)
+            for l in range(k):
+                if (j >> (k - l)) & 1:
+                    pi = pi.compose(bases[l])
+            effective = bases[k].conjugate(pi)
+            level_plan.append((j, effective))
+        plan.append(level_plan)
+    return plan
+
+
+@lru_cache(maxsize=None)
+def permuted_br_sequence(e: int) -> Tuple[int, ...]:
+    """The permuted-BR link sequence ``D_e^{p-BR}`` (any ``e >= 1``).
+
+    Examples
+    --------
+    >>> "".join(map(str, permuted_br_sequence(5)))
+    '0102010310121014323132302321232'
+    """
+    return tuple(int(x) for x in permuted_br_sequence_array(e))
+
+
+def permuted_br_sequence_array(e: int) -> np.ndarray:
+    """``D_e^{p-BR}`` as an ``int64`` array.
+
+    Applies the transformation plan region-by-region to ``D_e^BR``.  A
+    level-``k+1`` subsequence ``j`` occupies positions
+    ``[j * 2**(e-k-1), j * 2**(e-k-1) + 2**(e-k-1) - 2]`` (0-based); the
+    single positions between regions are the BR separators, which no
+    transformation touches (only whole subcube paths are permuted).
+    """
+    if e < 1:
+        raise OrderingError(f"permuted-BR requires e >= 1, got {e}")
+    seq = br_sequence_array(e).copy()
+    for k, level_plan in enumerate(transformation_table(e)):
+        width = 1 << (e - k - 1)
+        for j, perm in level_plan:
+            lo = j * width
+            hi = lo + width - 1  # exclusive of the separator slot
+            seq[lo:hi] = perm.apply_array(seq[lo:hi])
+    return seq

@@ -1,0 +1,104 @@
+"""Frequency-greedy rebalancing: an alternative to the permuted-BR rule.
+
+The permuted-BR transformation (§3.2.1) pairs links by the *index*
+formula ``i <-> (e-1)/2**k - 1 - i``, which coincides with pairing the
+most-frequent with the least-frequent link when ``e - 1`` is a power of
+two (the appendix's framing) but is only one possible reading otherwise.
+This module implements the other natural reading — at every
+transformation, transpose links by their **measured frequencies** inside
+each subsequence being permuted (most with least, second-most with
+second-least, ...) — as a research ablation:
+
+* it does **not** reproduce the paper's worked examples (the e = 5 hand
+  trace follows the index formula; the test-suite pins this), so the
+  index formula stays the package default;
+* for some non-power ``e`` it yields a lower alpha than the index
+  formula, for others a higher one — the comparison is printed by
+  ``benchmarks/test_bench_ablations.py`` and recorded in EXPERIMENTS.md.
+
+Validity is inherited from Property 1: each step permutes whole
+(e-k-1)-subsequences with a permutation of their own span, so the result
+is always a Hamiltonian path (machine-checked in the tests).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Tuple
+
+import numpy as np
+
+from ..errors import OrderingError
+from .base import JacobiOrdering, register_ordering
+from .br import br_sequence_array
+from .permuted_br import num_transformations
+
+__all__ = ["rebalanced_br_sequence_array", "rebalanced_br_sequence",
+           "RebalancedBROrdering"]
+
+
+def _frequency_pairing(region: np.ndarray, span: int) -> np.ndarray:
+    """Permutation table pairing the region's links by frequency.
+
+    Links are ranked by (count descending, link ascending); rank ``r`` is
+    transposed with rank ``span - 1 - r``.  Only links in ``[0, span)``
+    participate (the subsequence's subcube dimensions); higher links that
+    earlier permutations may have mapped into the region are ranked by
+    their counts all the same — the permutation must stay inside the
+    region's *current* alphabet, so we rank whatever links actually
+    occur plus the zero-count links of the original span.
+    """
+    counts = np.bincount(region, minlength=max(span, int(region.max()) + 1))
+    present = np.nonzero(counts > 0)[0]
+    ranked = sorted(present, key=lambda l: (-counts[l], l))
+    table = np.arange(counts.size, dtype=np.int64)
+    n = len(ranked)
+    for r in range(n // 2):
+        a, b = ranked[r], ranked[n - 1 - r]
+        table[a], table[b] = b, a
+    return table
+
+
+@lru_cache(maxsize=None)
+def rebalanced_br_sequence(e: int) -> Tuple[int, ...]:
+    """Tuple form of :func:`rebalanced_br_sequence_array`."""
+    return tuple(int(x) for x in rebalanced_br_sequence_array(e))
+
+
+def rebalanced_br_sequence_array(e: int) -> np.ndarray:
+    """BR rebalanced by frequency-greedy transpositions.
+
+    Same cascade shape as permuted-BR — transformation ``k`` permutes
+    every other (e-k-1)-subsequence — but each permuted region gets the
+    transposition set computed from its own current link frequencies
+    rather than the index formula.
+    """
+    if e < 1:
+        raise OrderingError(f"rebalanced-BR requires e >= 1, got {e}")
+    seq = br_sequence_array(e).copy()
+    for k in range(num_transformations(e)):
+        width = 1 << (e - k - 1)
+        span = e - k - 1  # dimensions of the permuted subcubes
+        for j in range(1, 1 << (k + 1), 2):
+            lo = j * width
+            hi = lo + width - 1
+            region = seq[lo:hi]
+            table = _frequency_pairing(region, span)
+            seq[lo:hi] = table[region]
+    return seq
+
+
+class RebalancedBROrdering(JacobiOrdering):
+    """Jacobi ordering using the frequency-greedy rebalanced sequences.
+
+    Registered as ``"rebalanced-br"``; interchangeable with the paper's
+    orderings everywhere (solver, cost model, benchmarks).
+    """
+
+    name = "rebalanced-br"
+
+    def phase_sequence(self, e: int) -> Tuple[int, ...]:
+        return rebalanced_br_sequence(self._check_phase(e))
+
+
+register_ordering(RebalancedBROrdering)

@@ -1,0 +1,223 @@
+"""Sweep schedule construction (§2.3.1, structure re-derived — DESIGN.md §5).
+
+A sweep of the block one-sided Jacobi algorithm on a d-cube pairs every two
+of the ``2**(d+1)`` column blocks exactly once.  Its transition schedule is
+
+.. code-block:: text
+
+    [exchange phase d] [division] [exchange phase d-1] [division] ...
+        ... [exchange phase 1] [division] [last transition]
+
+* **Exchange phase e** — ``2**e - 1`` transitions through the links of the
+  ordering's sequence ``D_e``.  Each node keeps one *stationary* block and
+  circulates one *moving* block; because ``D_e`` is a Hamiltonian path,
+  every moving block meets every stationary block exactly once (counting
+  the pairing step of the following division).
+* **Division (after phase e)** — one transition through link ``e - 1``
+  that gathers the ``2**e`` stationary blocks in the lower (e-1)-subcube
+  and the moving blocks in the upper one, splitting the problem in two
+  independent halves that run the remaining phases in lockstep.
+* **Last transition** — one transition through link ``d - 1``; it performs
+  no pairing work (the final pairing step precedes it) and merely
+  redistributes blocks for the next sweep.
+
+Every transition is preceded by a *pairing step* (each node rotates all
+column pairs across its two blocks); the first sweep step additionally
+pairs columns within blocks.  Sweep ``s`` applies the link rotation
+``sigma_s(i) = (i - s) mod d`` to every transition
+(:func:`repro.hypercube.sweep_rotation`).
+
+The schedule length is ``sum_e (2**e - 1) + d + 1 = 2**(d+1) - 1``
+transitions — the minimum number of steps of a parallel Jacobi ordering for
+``m = 2**(d+1)`` blocks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, List, Tuple
+
+from ..errors import ScheduleError
+from ..hypercube.permutations import sweep_rotation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .base import JacobiOrdering
+
+__all__ = [
+    "TransitionKind",
+    "Transition",
+    "SweepSchedule",
+    "build_sweep_schedule",
+    "sweep_length",
+]
+
+
+class TransitionKind(enum.Enum):
+    """How a transition moves blocks between link partners."""
+
+    #: Both partners swap their *moving* blocks.
+    EXCHANGE = "exchange"
+    #: The lower partner (bit = 0 on the transition link) sends its moving
+    #: block, the upper partner sends its stationary block: stationaries
+    #: collect in the lower subcube, movers in the upper.
+    DIVISION = "division"
+    #: Like EXCHANGE, but performs no pairing work afterwards; only
+    #: redistributes blocks for the next sweep.
+    LAST = "last"
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One communication step of a sweep.
+
+    Attributes
+    ----------
+    link:
+        Physical link (dimension) used, after the inter-sweep rotation.
+    kind:
+        Exchange / division / last semantics.
+    phase:
+        The exchange phase ``e`` this transition belongs to (for
+        :attr:`TransitionKind.LAST` this is 0).
+    index_in_phase:
+        Position within the phase's sequence (0-based); divisions and the
+        last transition use 0.
+    """
+
+    link: int
+    kind: TransitionKind
+    phase: int
+    index_in_phase: int = 0
+
+
+def sweep_length(d: int) -> int:
+    """Number of pairing steps (= number of transitions) per sweep:
+    ``2**(d+1) - 1``.
+
+    The count excludes the intra-block pairing performed once at the start
+    of each sweep (step "1)" of the paper's algorithm), which involves no
+    communication.
+    """
+    if d < 0:
+        raise ScheduleError(f"dimension must be >= 0, got {d}")
+    return (1 << (d + 1)) - 1
+
+
+@dataclass(frozen=True)
+class SweepSchedule:
+    """The ordered transitions of one sweep on a d-cube.
+
+    Iterable; ``len`` equals ``2**(d+1) - 1`` for ``d >= 1`` (``1`` pairing
+    step and no transitions for the degenerate single-node machine).
+    """
+
+    d: int
+    sweep: int
+    ordering_name: str
+    transitions: Tuple[Transition, ...]
+
+    def __iter__(self) -> Iterator[Transition]:
+        return iter(self.transitions)
+
+    def __len__(self) -> int:
+        return len(self.transitions)
+
+    @property
+    def num_steps(self) -> int:
+        """Pairing steps in this sweep (one per transition, plus the final
+        step of a single-node machine)."""
+        return max(len(self.transitions), 1)
+
+    def links(self) -> Tuple[int, ...]:
+        """The bare link sequence of the sweep (useful for cost models)."""
+        return tuple(t.link for t in self.transitions)
+
+    def phase_slices(self) -> List[Tuple[int, slice]]:
+        """``(e, slice)`` pairs locating each exchange phase's transitions
+        inside :attr:`transitions` (divisions/last excluded).
+
+        The cost model pipelines each exchange phase independently; this
+        accessor hands it the exact kernel of each phase.
+        """
+        out: List[Tuple[int, slice]] = []
+        start = 0
+        for e in range(self.d, 0, -1):
+            n = (1 << e) - 1
+            out.append((e, slice(start, start + n)))
+            start += n + 1  # skip the division transition
+        return out
+
+    def validate(self) -> None:
+        """Structural self-check: lengths, kinds and phase tags."""
+        if self.d == 0:
+            if self.transitions:
+                raise ScheduleError("a 0-cube sweep has no transitions")
+            return
+        if len(self.transitions) != sweep_length(self.d):
+            raise ScheduleError(
+                f"sweep of a {self.d}-cube needs {sweep_length(self.d)} "
+                f"transitions, got {len(self.transitions)}")
+        pos = 0
+        for e in range(self.d, 0, -1):
+            for i in range((1 << e) - 1):
+                t = self.transitions[pos]
+                if t.kind is not TransitionKind.EXCHANGE or t.phase != e:
+                    raise ScheduleError(
+                        f"transition {pos} should be EXCHANGE of phase {e}, "
+                        f"got {t}")
+                pos += 1
+            t = self.transitions[pos]
+            if t.kind is not TransitionKind.DIVISION or t.phase != e:
+                raise ScheduleError(
+                    f"transition {pos} should be DIVISION of phase {e}, "
+                    f"got {t}")
+            pos += 1
+        t = self.transitions[pos]
+        if t.kind is not TransitionKind.LAST:
+            raise ScheduleError(f"final transition should be LAST, got {t}")
+        for t in self.transitions:
+            if not 0 <= t.link < self.d:
+                raise ScheduleError(
+                    f"transition link {t.link} outside [0, {self.d})")
+
+
+def build_sweep_schedule(ordering: "JacobiOrdering",
+                         sweep: int = 0) -> SweepSchedule:
+    """Build the transition schedule of sweep ``sweep`` for an ordering.
+
+    Parameters
+    ----------
+    ordering:
+        Supplies the per-phase link sequences ``D_e``.
+    sweep:
+        0-based sweep index; sweep ``s`` rotates every link by
+        ``sigma_s(i) = (i - s) mod d``.
+
+    Notes
+    -----
+    The schedule is correct for *any* block layout: the pair-coverage
+    property (machine-checked in :mod:`repro.orderings.validate`) only
+    requires two blocks per node, so consecutive sweeps can be chained
+    without re-homing blocks.
+    """
+    d = ordering.d
+    if d == 0:
+        return SweepSchedule(d=0, sweep=sweep, ordering_name=ordering.name,
+                             transitions=())
+    sigma = sweep_rotation(d, sweep)
+    transitions: List[Transition] = []
+    for e in range(d, 0, -1):
+        for i, link in enumerate(ordering.phase_sequence(e)):
+            transitions.append(Transition(link=sigma(link),
+                                          kind=TransitionKind.EXCHANGE,
+                                          phase=e, index_in_phase=i))
+        transitions.append(Transition(link=sigma(e - 1),
+                                      kind=TransitionKind.DIVISION,
+                                      phase=e))
+    transitions.append(Transition(link=sigma(d - 1),
+                                  kind=TransitionKind.LAST, phase=0))
+    schedule = SweepSchedule(d=d, sweep=sweep, ordering_name=ordering.name,
+                             transitions=tuple(transitions))
+    schedule.validate()
+    return schedule

@@ -1,0 +1,33 @@
+"""Multicomputer simulation substrate.
+
+* :mod:`repro.simulator.comm` — an in-process, mpi4py-style message-
+  passing world (threads + FIFO channels) for SPMD programs.
+* :mod:`repro.simulator.trace` — communication records and simulated-time
+  accounting under the multi-port cost model.
+* :mod:`repro.simulator.pipelined_exec` — packetised execution of the
+  communication-pipelined sweep (the multi-port algorithm itself, not
+  just its cost model).
+"""
+
+from .comm import DEFAULT_TIMEOUT, SimComm, SimWorld
+from .trace import CommRecord, CommunicationTrace
+
+__all__ = [
+    "SimWorld",
+    "SimComm",
+    "DEFAULT_TIMEOUT",
+    "CommunicationTrace",
+    "CommRecord",
+    "PipelinedParallelJacobi",
+]
+
+
+def __getattr__(name):
+    # PipelinedParallelJacobi extends the jacobi-package solver, which in
+    # turn imports this package's trace module; a lazy attribute breaks
+    # the import cycle (PEP 562).
+    if name == "PipelinedParallelJacobi":
+        from .pipelined_exec import PipelinedParallelJacobi
+
+        return PipelinedParallelJacobi
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

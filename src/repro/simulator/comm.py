@@ -1,0 +1,222 @@
+"""An in-process, mpi4py-style message-passing layer.
+
+The paper's algorithms are SPMD message-passing programs; on a real
+machine they would run under MPI (the natural Python stack is
+mpi4py + NumPy).  This module provides the same programming surface —
+ranks, ``send`` / ``recv`` / ``sendrecv`` / ``barrier`` / ``allreduce`` /
+``gather`` / ``bcast`` — executed by one thread per rank inside a single
+process, with FIFO channels per (source, destination) pair.
+
+This is a *correctness* simulator: it moves real NumPy payloads between
+ranks with real blocking semantics (deadlocks in the algorithm would hang
+and be caught by the watchdog timeout), while simulated *time* is charged
+separately by the cost model (:mod:`repro.ccube.cost`) — mirroring how the
+paper evaluates correctness on small cases and performance analytically.
+
+Example
+-------
+>>> def program(comm):
+...     other = comm.sendrecv(comm.rank, partner=comm.size - 1 - comm.rank)
+...     return comm.rank + other
+>>> SimWorld(4).run(program)
+[3, 3, 3, 3]
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+__all__ = ["SimWorld", "SimComm", "DEFAULT_TIMEOUT"]
+
+#: Seconds a blocking operation waits before declaring a deadlock.
+DEFAULT_TIMEOUT = 60.0
+
+
+class SimComm:
+    """Communicator handle of one rank (the mpi4py ``Comm`` analogue).
+
+    Created by :class:`SimWorld`; user programs receive one as their
+    argument and use its methods exactly like an MPI communicator.
+    """
+
+    def __init__(self, world: "SimWorld", rank: int) -> None:
+        self._world = world
+        #: This rank's id in ``[0, size)``.
+        self.rank = rank
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of ranks in the world."""
+        return self._world.size
+
+    def _check_peer(self, peer: int) -> int:
+        peer = int(peer)
+        if not 0 <= peer < self.size:
+            raise SimulationError(
+                f"rank {peer} outside [0, {self.size})")
+        if peer == self.rank:
+            raise SimulationError("self-messaging is not supported")
+        return peer
+
+    # ------------------------------------------------------------------
+    def send(self, obj: Any, dest: int) -> None:
+        """Send a Python object to ``dest`` (buffered, non-blocking)."""
+        self._world._channel(self.rank, self._check_peer(dest)).put(obj)
+
+    def recv(self, source: int, timeout: Optional[float] = None) -> Any:
+        """Receive the next object from ``source`` (blocking, FIFO)."""
+        ch = self._world._channel(self._check_peer(source), self.rank)
+        try:
+            return ch.get(timeout=timeout or self._world.timeout)
+        except queue.Empty:
+            raise SimulationError(
+                f"rank {self.rank} timed out receiving from {source} "
+                f"(deadlock?)")
+
+    def sendrecv(self, obj: Any, partner: int) -> Any:
+        """Exchange objects with ``partner`` (both sides must call this).
+
+        The fundamental operation of the Jacobi transitions: link partners
+        swap one block each, full duplex.
+        """
+        p = self._check_peer(partner)
+        self.send(obj, p)
+        return self.recv(p)
+
+    # ------------------------------------------------------------------
+    def barrier(self) -> None:
+        """Block until every rank has entered the barrier."""
+        try:
+            self._world._barrier.wait(timeout=self._world.timeout)
+        except threading.BrokenBarrierError:
+            exc = SimulationError(
+                f"rank {self.rank}: barrier broken (deadlock or crash in "
+                f"another rank)")
+            # Mark as a cascade so SimWorld.run reports the original
+            # failure, not this secondary symptom.
+            exc.cascade = True  # type: ignore[attr-defined]
+            raise exc
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        """Gather one object per rank at ``root`` (None elsewhere)."""
+        if self.rank == root:
+            out: List[Any] = [None] * self.size
+            out[root] = obj
+            for src in range(self.size):
+                if src != root:
+                    out[src] = self.recv(src)
+            return out
+        self.send(obj, root)
+        return None
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast ``root``'s object to every rank."""
+        if self.rank == root:
+            for dst in range(self.size):
+                if dst != root:
+                    self.send(obj, dst)
+            return obj
+        return self.recv(root)
+
+    def allgather(self, obj: Any) -> List[Any]:
+        """Gather one object per rank, result available on every rank."""
+        gathered = self.gather(obj, root=0)
+        return self.bcast(gathered, root=0)
+
+    def allreduce(self, value: Any,
+                  op: Callable[[Any, Any], Any] = max) -> Any:
+        """Reduce one value per rank with ``op``; everyone gets the result.
+
+        The Jacobi sweep loop uses ``op=max`` on the local orthogonality
+        defects to agree on convergence.
+        """
+        items = self.allgather(value)
+        acc = items[0]
+        for x in items[1:]:
+            acc = op(acc, x)
+        return acc
+
+
+class SimWorld:
+    """A fixed-size world of simulated ranks connected by FIFO channels.
+
+    Parameters
+    ----------
+    size:
+        Number of ranks (``2**d`` for a d-cube program).
+    timeout:
+        Deadlock watchdog for blocking operations, in seconds.
+    """
+
+    def __init__(self, size: int, timeout: float = DEFAULT_TIMEOUT) -> None:
+        if size < 1:
+            raise SimulationError(f"world size must be >= 1, got {size}")
+        self.size = int(size)
+        self.timeout = float(timeout)
+        self._channels: Dict[Tuple[int, int], queue.Queue] = {}
+        self._channels_lock = threading.Lock()
+        self._barrier = threading.Barrier(self.size)
+
+    def _channel(self, src: int, dst: int) -> queue.Queue:
+        key = (src, dst)
+        with self._channels_lock:
+            ch = self._channels.get(key)
+            if ch is None:
+                ch = self._channels[key] = queue.Queue()
+            return ch
+
+    def comm(self, rank: int) -> SimComm:
+        """The communicator of one rank."""
+        if not 0 <= rank < self.size:
+            raise SimulationError(f"rank {rank} outside [0, {self.size})")
+        return SimComm(self, rank)
+
+    def run(self, program: Callable[..., Any], *args: Any,
+            timeout: Optional[float] = None) -> List[Any]:
+        """Run ``program(comm, *args)`` on every rank; return all results.
+
+        One thread per rank; exceptions in any rank are re-raised in the
+        caller (with every other rank unblocked first).
+        """
+        results: List[Any] = [None] * self.size
+        errors: List[Optional[BaseException]] = [None] * self.size
+
+        def runner(rank: int) -> None:
+            try:
+                results[rank] = program(self.comm(rank), *args)
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                errors[rank] = exc
+                self._barrier.abort()
+
+        threads = [threading.Thread(target=runner, args=(r,), daemon=True)
+                   for r in range(self.size)]
+        for t in threads:
+            t.start()
+        deadline = timeout or self.timeout * 10
+        for t in threads:
+            t.join(timeout=deadline)
+            if t.is_alive():
+                self._barrier.abort()
+                raise SimulationError(
+                    "SPMD program did not finish (deadlock?)")
+        # Report the original failure, preferring non-cascade errors
+        # (barrier aborts in other ranks are secondary symptoms).
+        primary = None
+        for rank, exc in enumerate(errors):
+            if exc is not None and not getattr(exc, "cascade", False):
+                primary = (rank, exc)
+                break
+        if primary is None:
+            for rank, exc in enumerate(errors):
+                if exc is not None:
+                    primary = (rank, exc)
+                    break
+        if primary is not None:
+            rank, exc = primary
+            raise SimulationError(f"rank {rank} failed: {exc!r}") from exc
+        return results

@@ -1,0 +1,184 @@
+"""Packetised pipelined execution of the Jacobi sweep (multi-port mode).
+
+:class:`PipelinedParallelJacobi` actually *executes* the communication-
+pipelined algorithm of §2.4 on the simulated machine, rather than only
+modelling its cost: each exchange phase's moving blocks are split into
+``Q`` column packets, and stage ``s`` rotates packet ``q = s - t`` of
+every window iteration ``t`` against the node's stationary block before
+"sending" the whole window's packets in one multi-link communication
+operation (charged as a single pipelined stage by the trace).
+
+The numerical iterates differ from the un-pipelined solver only in the
+*order* in which the same once-per-sweep rotations are applied (software
+pipelining reorders computation; it does not change the set of pairings),
+so convergence behaviour is essentially identical — which the test-suite
+checks — while the simulated communication time shows the multi-port
+speed-up the paper predicts.
+
+Requires uniform block sizes (``m`` divisible by ``2**(d+1)``); packets
+are whole columns, so the pipelining degree is capped at the block size
+(the same cap the cost model applies — DESIGN.md §5.7).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from ..ccube.cost import SequencePhaseCostModel
+from ..ccube.machine import MachineParams, PAPER_MACHINE
+from ..errors import PipeliningError
+from ..hypercube.paths import prefix_xor
+from ..jacobi.blocks import BlockDistribution, cross_block_rounds
+from ..jacobi.convergence import DEFAULT_TOL
+from ..jacobi.parallel import ParallelOneSidedJacobi
+from ..jacobi.rotations import RotationStats, rotate_pairs
+from ..orderings.base import JacobiOrdering
+from ..orderings.sweep import SweepSchedule, TransitionKind
+from ..orderings.validate import apply_transition
+from .trace import CommunicationTrace
+
+__all__ = ["PipelinedParallelJacobi", "QPolicy"]
+
+#: How to choose the pipelining degree per phase: ``"optimal"`` (cost-model
+#: optimum), a fixed int, or an explicit mapping ``e -> Q``.
+QPolicy = Union[str, int, Dict[int, int]]
+
+
+class PipelinedParallelJacobi(ParallelOneSidedJacobi):
+    """Simulated-parallel solver that runs exchange phases pipelined.
+
+    Parameters
+    ----------
+    ordering:
+        Jacobi ordering (fixes ``d`` and the phase sequences).
+    machine:
+        Cost parameters (also drive the per-phase optimal Q).
+    q_policy:
+        ``"optimal"`` (default), a fixed degree, or ``{e: Q}``.
+    tol, max_sweeps:
+        As in the base solver.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.orderings import get_ordering
+    >>> from repro.jacobi import make_symmetric_test_matrix
+    >>> A = make_symmetric_test_matrix(32, rng=0)
+    >>> solver = PipelinedParallelJacobi(get_ordering("degree4", 2))
+    >>> res = solver.solve(A)
+    >>> bool(np.allclose(np.sort(res.eigenvalues),
+    ...                  np.linalg.eigh(A)[0], atol=1e-6))
+    True
+    """
+
+    def __init__(self, ordering: JacobiOrdering,
+                 machine: MachineParams = PAPER_MACHINE,
+                 tol: float = DEFAULT_TOL,
+                 max_sweeps: int = 60,
+                 q_policy: QPolicy = "optimal") -> None:
+        super().__init__(ordering, machine=machine, tol=tol,
+                         max_sweeps=max_sweeps)
+        if isinstance(q_policy, str) and q_policy != "optimal":
+            raise PipeliningError(
+                f"unknown q_policy {q_policy!r}; use 'optimal', an int, or "
+                f"a mapping")
+        self.q_policy = q_policy
+
+    # ------------------------------------------------------------------
+    def _choose_q(self, seq: np.ndarray, block_size: int, m: int,
+                  phase: int) -> int:
+        cap = max(1, block_size)
+        if isinstance(self.q_policy, int):
+            return max(1, min(self.q_policy, cap))
+        if isinstance(self.q_policy, dict):
+            return max(1, min(int(self.q_policy.get(phase, 1)), cap))
+        model = SequencePhaseCostModel(seq, self.machine,
+                                       message_elems=2.0 * m * block_size,
+                                       q_max=cap)
+        return model.optimal().Q
+
+    # ------------------------------------------------------------------
+    def _run_pipelined_phase(self, A: np.ndarray, U: Optional[np.ndarray],
+                             dist: BlockDistribution, layout: np.ndarray,
+                             seq: np.ndarray, phase: int, sweep: int,
+                             trace: CommunicationTrace,
+                             stats: RotationStats) -> np.ndarray:
+        """Execute one pipelined exchange phase; returns the new layout."""
+        m = dist.m
+        b = dist.m // dist.num_blocks
+        K = int(seq.size)
+        Q = self._choose_q(seq, b, m, phase)
+        px = prefix_xor(seq)
+        nodes = np.arange(layout.shape[0], dtype=np.int64)
+        stat_blocks = layout[:, 0]
+        mov_start = layout[:, 1]
+        # Column arrays, indexed by block id (uniform sizes).
+        cols_of_block = np.stack([dist.block_columns(k)
+                                  for k in range(dist.num_blocks)])
+        stat_cols = cols_of_block[stat_blocks]          # (nodes, b)
+        chunk_offsets = np.array_split(np.arange(b, dtype=np.intp), Q)
+        packet_elems = 2.0 * m * max(len(c) for c in chunk_offsets)
+        for s in range(K + Q - 1):
+            t_lo, t_hi = max(0, s - Q + 1), min(s, K - 1)
+            for t in range(t_lo, t_hi + 1):
+                offs = chunk_offsets[s - t]
+                if offs.size == 0:
+                    continue
+                # The mover at node v during iteration t started at node
+                # v XOR px[t]; its block id identifies its columns.
+                mover_ids = mov_start[nodes ^ px[t]]
+                mover_cols = cols_of_block[mover_ids][:, offs]  # (nodes, cb)
+                for li, ri in cross_block_rounds(b, offs.size):
+                    stats.merge(rotate_pairs(
+                        A, U,
+                        stat_cols[:, li].ravel(),
+                        mover_cols[:, ri].ravel()))
+            trace.charge_stage(seq[t_lo:t_hi + 1], packet_elems,
+                               phase=phase, sweep=sweep)
+        new_layout = layout.copy()
+        new_layout[:, 1] = mov_start[nodes ^ px[K]]
+        return new_layout
+
+    # ------------------------------------------------------------------
+    def run_sweep(self, A: np.ndarray, U: Optional[np.ndarray],
+                  dist: BlockDistribution, layout: np.ndarray,
+                  schedule: SweepSchedule, trace: CommunicationTrace,
+                  stats: RotationStats) -> np.ndarray:
+        """Pipelined sweep: exchange phases run packetised; divisions and
+        the last transition remain plain barrier transitions."""
+        if not dist.is_balanced:
+            raise PipeliningError(
+                "the pipelined executor requires m divisible by 2**(d+1)")
+        self._pair_within_blocks(A, U, dist, stats)
+        if schedule.d == 0:
+            self._pair_blocks(A, U, dist, layout, stats)
+            return layout
+        message_elems = 2.0 * dist.max_block_size * dist.m
+        transitions = list(schedule)
+        pos = 0
+        for e in range(schedule.d, 0, -1):
+            K = (1 << e) - 1
+            phase_links = np.asarray(
+                [t.link for t in transitions[pos:pos + K]], dtype=np.int64)
+            for t in transitions[pos:pos + K]:
+                if t.kind is not TransitionKind.EXCHANGE:  # pragma: no cover
+                    raise PipeliningError("schedule/phase mismatch")
+            pos += K
+            layout = self._run_pipelined_phase(A, U, dist, layout,
+                                               phase_links, e,
+                                               schedule.sweep, trace, stats)
+            division = transitions[pos]
+            pos += 1
+            self._pair_blocks(A, U, dist, layout, stats)
+            layout = apply_transition(layout, division.link, division.kind)
+            trace.charge_transition(division.link, message_elems,
+                                    division.kind.value, division.phase,
+                                    schedule.sweep)
+        last = transitions[pos]
+        self._pair_blocks(A, U, dist, layout, stats)
+        layout = apply_transition(layout, last.link, last.kind)
+        trace.charge_transition(last.link, message_elems, last.kind.value,
+                                last.phase, schedule.sweep)
+        return layout

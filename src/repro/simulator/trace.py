@@ -1,0 +1,141 @@
+"""Communication traces of the simulated machine.
+
+Every transition (or pipelined stage) executed by the simulator appends a
+record; the trace then aggregates simulated communication time under the
+machine's cost model.  Because the sweep algorithms are lockstep-symmetric
+(every node does the same communication in the same step), one record per
+machine-wide step suffices — per-node accounting would be ``2**d``
+identical rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..ccube.machine import MachineParams
+
+__all__ = ["CommRecord", "CommunicationTrace"]
+
+
+@dataclass(frozen=True)
+class CommRecord:
+    """One machine-wide communication step.
+
+    Attributes
+    ----------
+    kind:
+        ``"exchange"`` / ``"division"`` / ``"last"`` for plain transitions,
+        ``"stage"`` for a pipelined stage.
+    links:
+        Distinct links used by each node in this step.
+    packets_per_link:
+        Packets combined on each of those links (parallel to ``links``).
+    packet_elems:
+        Matrix elements per packet.
+    cost:
+        Simulated time charged for this step.
+    phase:
+        Exchange phase ``e`` (0 for the last transition).
+    sweep:
+        Sweep index the step belongs to.
+    """
+
+    kind: str
+    links: Tuple[int, ...]
+    packets_per_link: Tuple[int, ...]
+    packet_elems: float
+    cost: float
+    phase: int
+    sweep: int
+
+
+@dataclass
+class CommunicationTrace:
+    """Accumulated communication record of a simulated run.
+
+    Parameters
+    ----------
+    machine:
+        Cost model used to charge each step.
+    """
+
+    machine: MachineParams
+    records: List[CommRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def charge_transition(self, link: int, message_elems: float,
+                          kind: str, phase: int, sweep: int) -> float:
+        """Charge one plain single-link transition; returns its cost."""
+        cost = self.machine.transition_cost(message_elems)
+        self.records.append(CommRecord(kind=kind, links=(int(link),),
+                                       packets_per_link=(1,),
+                                       packet_elems=float(message_elems),
+                                       cost=cost, phase=phase, sweep=sweep))
+        return cost
+
+    def charge_stage(self, window_links: np.ndarray, packet_elems: float,
+                     phase: int, sweep: int) -> float:
+        """Charge one pipelined stage given its link window (with repeats).
+
+        Packets sharing a link are combined; the stage costs
+        ``Ts * distinct + Tw * packet_elems * busy`` per the machine model.
+        """
+        links, counts = np.unique(np.asarray(window_links, dtype=np.int64),
+                                  return_counts=True)
+        cost = self.machine.stage_cost(
+            distinct=float(links.size),
+            max_multiplicity=float(counts.max()),
+            total=float(counts.sum()),
+            packet_elems=float(packet_elems))
+        self.records.append(CommRecord(
+            kind="stage",
+            links=tuple(int(x) for x in links),
+            packets_per_link=tuple(int(c) for c in counts),
+            packet_elems=float(packet_elems),
+            cost=cost, phase=phase, sweep=sweep))
+        return cost
+
+    # ------------------------------------------------------------------
+    @property
+    def total_cost(self) -> float:
+        """Total simulated communication time."""
+        return float(sum(r.cost for r in self.records))
+
+    @property
+    def num_steps(self) -> int:
+        """Number of communication steps recorded."""
+        return len(self.records)
+
+    def total_elements(self) -> float:
+        """Total matrix elements shipped per node over the run."""
+        return float(sum(r.packet_elems * sum(r.packets_per_link)
+                         for r in self.records))
+
+    def cost_by_kind(self) -> Dict[str, float]:
+        """Simulated time grouped by record kind."""
+        out: Dict[str, float] = {}
+        for r in self.records:
+            out[r.kind] = out.get(r.kind, 0.0) + r.cost
+        return out
+
+    def cost_by_sweep(self) -> Dict[int, float]:
+        """Simulated time per sweep."""
+        out: Dict[int, float] = {}
+        for r in self.records:
+            out[r.sweep] = out.get(r.sweep, 0.0) + r.cost
+        return out
+
+    def max_links_in_step(self) -> int:
+        """The widest multi-port usage observed (1 for un-pipelined runs)."""
+        return max((len(r.links) for r in self.records), default=0)
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary."""
+        kinds = ", ".join(f"{k}: {v:.3g}" for k, v in
+                          sorted(self.cost_by_kind().items()))
+        return (f"{self.num_steps} steps, total cost {self.total_cost:.6g} "
+                f"({kinds}); widest step used {self.max_links_in_step()} "
+                f"links; machine: {self.machine.describe()}")

@@ -1,0 +1,18 @@
+"""Shared fixtures for the repro test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG; tests needing different streams pass seeds."""
+    return np.random.default_rng(20260611)
+
+
+@pytest.fixture(params=["br", "permuted-br", "degree4", "min-alpha"])
+def ordering_name(request) -> str:
+    """Parametrise a test over every registered ordering family."""
+    return request.param

@@ -1,0 +1,175 @@
+"""Tests for the experiment drivers (Tables 1-2, Figure 2, appendix)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    PAPER_TABLE1_ALPHA,
+    PAPER_TABLE2_CONFIGS,
+    compute_figure2_panel,
+    compute_table1,
+    compute_table2,
+    render_figure2,
+    render_table1,
+    render_table2,
+    theorem2_bound,
+    theorem3_ratio,
+    verify_appendix,
+)
+from repro.analysis.appendix import (
+    lemma2_check,
+    lemma3_check,
+    lemma4_check,
+    measured_p,
+    measured_r,
+    theorem2_check,
+)
+from repro.errors import OrderingError
+
+
+class TestTable1:
+    def test_rows_cover_paper_range(self):
+        rows = compute_table1()
+        assert [r.e for r in rows] == list(range(7, 15))
+        for r in rows:
+            assert r.paper_alpha == PAPER_TABLE1_ALPHA[r.e]
+            assert r.ratio == pytest.approx(r.alpha / r.lower_bound)
+            assert r.alpha >= r.lower_bound
+
+    def test_render(self):
+        text = render_table1()
+        assert "alpha (paper)" in text
+        assert "1543" in text  # the paper's e=14 value appears
+
+    def test_custom_range(self):
+        rows = compute_table1((3, 5))
+        assert [r.e for r in rows] == [3, 5]
+        assert rows[0].paper_alpha is None
+
+
+class TestTable2:
+    def test_paper_config_grid(self):
+        # every power-of-two P from 2 to m/2, for m = 8..64 -> 14 configs
+        assert len(PAPER_TABLE2_CONFIGS) == 14
+        assert (8, 2) in PAPER_TABLE2_CONFIGS
+        assert (64, 32) in PAPER_TABLE2_CONFIGS
+        assert (8, 8) not in PAPER_TABLE2_CONFIGS
+
+    def test_small_run_orderings_agree(self):
+        rows = compute_table2(configs=[(16, 2), (16, 4)], num_matrices=4,
+                              seed=7)
+        for row in rows:
+            assert set(row.sweeps) == {"br", "permuted-br", "degree4"}
+            # the paper's claim: practically identical convergence
+            assert row.spread <= 1.0
+            for v in row.sweeps.values():
+                assert 2.0 <= v <= 12.0
+
+    def test_deterministic(self):
+        a = compute_table2(configs=[(8, 2)], num_matrices=3, seed=5)
+        b = compute_table2(configs=[(8, 2)], num_matrices=3, seed=5)
+        assert a[0].sweeps == b[0].sweeps
+
+    def test_rejects_non_power_of_two_p(self):
+        with pytest.raises(ValueError):
+            compute_table2(configs=[(16, 3)], num_matrices=1)
+
+    def test_render(self):
+        rows = compute_table2(configs=[(8, 2)], num_matrices=2)
+        text = render_table2(rows)
+        assert "Table 2" in text and "degree4" in text
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def panel(self):
+        return compute_figure2_panel(1 << 18, dims=(5, 7, 9))
+
+    def test_series_present(self, panel):
+        assert set(panel.series) == {
+            "br-unpipelined", "br-pipelined", "degree4", "permuted-br",
+            "lower-bound"}
+        for pts in panel.series.values():
+            assert [p.d for p in pts] == [5, 7, 9]
+
+    def test_reference_is_one(self, panel):
+        assert all(p.relative_cost == 1.0
+                   for p in panel.series["br-unpipelined"])
+
+    def test_ordering_of_curves(self, panel):
+        # lower bound <= permuted-br, degree4 <= pipelined BR <= 1
+        for i in range(3):
+            lb = panel.series["lower-bound"][i].relative_cost
+            pbr = panel.series["permuted-br"][i].relative_cost
+            d4 = panel.series["degree4"][i].relative_cost
+            br = panel.series["br-pipelined"][i].relative_cost
+            assert lb <= pbr * (1 + 1e-9)
+            assert lb <= d4 * (1 + 1e-9)
+            assert max(pbr, d4) <= br
+            assert br <= 1.0
+
+    def test_br_pipelined_about_half(self, panel):
+        for p in panel.series["br-pipelined"]:
+            assert 0.45 <= p.relative_cost <= 0.65
+
+    def test_degree4_about_quarter(self, panel):
+        for p in panel.series["degree4"]:
+            assert 0.2 <= p.relative_cost <= 0.45
+
+    def test_infeasible_dims_skipped(self):
+        # m = 64 fills the 2**(d+1) blocks only up to d = 5
+        panel = compute_figure2_panel(64, dims=(3, 4, 5, 6))
+        assert [p.d for p in panel.series["lower-bound"]] == [3, 4, 5]
+
+    def test_shallow_forced_at_large_d(self):
+        # m = 2**18, d = 12: q_max = 32 << K(e=12) = 4095 -> shallow top
+        # phase; at d = 5 q_max = 4096 >= 31 -> deep
+        panel = compute_figure2_panel(1 << 18, dims=(5, 12))
+        pts = panel.series["permuted-br"]
+        assert pts[0].deep is True
+        assert pts[1].deep is False
+
+    def test_render_smoke(self):
+        panels = [compute_figure2_panel(1 << 18, dims=(5, 6))]
+        text = render_figure2(panels)
+        assert "Figure 2(a)" in text and "lower-bound" in text
+
+
+class TestAppendix:
+    def test_lemmas_power_cases(self):
+        for e in (5, 9):
+            assert lemma2_check(e)
+            assert lemma3_check(e)
+            assert lemma4_check(e)
+
+    def test_measured_p_base_case_is_br_histogram(self):
+        # p_{-1}(i) = 2**(e-1-i): the BR histogram
+        assert measured_p(9, -1) == [1 << (9 - 1 - i) for i in range(8)]
+
+    def test_measured_r_worked_example(self):
+        # e=5, k=0: second half after transformation 0 holds one 0, two 1s
+        assert measured_r(5, 0) == [1, 2]
+
+    def test_theorem2(self):
+        a, bound, ok = theorem2_check(9)
+        assert ok and a <= bound
+        assert bound == pytest.approx(72.0)
+
+    def test_theorem3_limit(self):
+        assert theorem3_ratio((1 << 20) + 1) == pytest.approx(1.25, abs=1e-4)
+        # and approaches from above through moderate e
+        assert theorem3_ratio(9) > theorem3_ratio(17) > 1.25
+
+    def test_verify_appendix_all_ok(self):
+        for report in verify_appendix((5, 9)):
+            assert report.all_ok
+
+    def test_requires_power_case(self):
+        with pytest.raises(OrderingError):
+            lemma2_check(7)
+
+    def test_theorem2_bound_invalid_e(self):
+        with pytest.raises(OrderingError):
+            theorem2_bound(2)

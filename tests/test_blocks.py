@@ -1,0 +1,96 @@
+"""Unit tests for block layout and pairing round schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ScheduleError
+from repro.jacobi import BlockDistribution, cross_block_rounds, round_robin_rounds
+
+
+class TestRoundRobin:
+    @pytest.mark.parametrize("n", [0, 1, 2, 3, 4, 5, 8, 9, 16])
+    def test_exact_coverage(self, n):
+        rounds = round_robin_rounds(n)
+        seen = set()
+        for left, right in rounds:
+            # disjoint within a round
+            used = np.concatenate([left, right])
+            assert len(np.unique(used)) == len(used)
+            for a, b in zip(left, right):
+                pair = (min(a, b), max(a, b))
+                assert pair not in seen
+                seen.add(pair)
+        assert len(seen) == n * (n - 1) // 2
+
+    def test_round_count_even(self):
+        assert len(round_robin_rounds(8)) == 7
+
+    def test_round_count_odd(self):
+        assert len(round_robin_rounds(7)) == 7
+
+    def test_negative_rejected(self):
+        with pytest.raises(ScheduleError):
+            round_robin_rounds(-1)
+
+
+class TestCrossBlockRounds:
+    @pytest.mark.parametrize("b1,b2", [(1, 1), (2, 2), (4, 4), (3, 5),
+                                       (5, 3), (1, 7), (6, 1), (4, 6)])
+    def test_exact_coverage(self, b1, b2):
+        rounds = cross_block_rounds(b1, b2)
+        seen = set()
+        for left, right in rounds:
+            assert len(np.unique(left)) == len(left)
+            assert len(np.unique(right)) == len(right)
+            for a, b in zip(left, right):
+                assert (a, b) not in seen
+                assert 0 <= a < b1 and 0 <= b < b2
+                seen.add((a, b))
+        assert len(seen) == b1 * b2
+
+    def test_empty_blocks(self):
+        assert cross_block_rounds(0, 4) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ScheduleError):
+            cross_block_rounds(-1, 2)
+
+    def test_round_count(self):
+        assert len(cross_block_rounds(4, 4)) == 4
+        assert len(cross_block_rounds(3, 5)) == 5
+
+
+class TestBlockDistribution:
+    def test_balanced(self):
+        dist = BlockDistribution(m=32, d=2)
+        assert dist.num_blocks == 8
+        assert dist.is_balanced
+        assert dist.block_size(0) == 4
+        assert dist.max_block_size == 4
+        assert dist.block_columns(1).tolist() == [4, 5, 6, 7]
+
+    def test_uneven(self):
+        dist = BlockDistribution(m=18, d=2)
+        sizes = [dist.block_size(k) for k in range(8)]
+        assert sum(sizes) == 18
+        assert max(sizes) - min(sizes) == 1  # paper footnote 1
+        assert not dist.is_balanced
+
+    def test_columns_partition(self):
+        dist = BlockDistribution(m=21, d=2)
+        allcols = np.concatenate(dist.columns_of_blocks())
+        assert sorted(allcols.tolist()) == list(range(21))
+
+    def test_too_few_columns(self):
+        with pytest.raises(ScheduleError):
+            BlockDistribution(m=7, d=2)
+
+    def test_negative_d(self):
+        with pytest.raises(ScheduleError):
+            BlockDistribution(m=8, d=-1)
+
+    def test_one_column_blocks(self):
+        dist = BlockDistribution(m=8, d=2)
+        assert all(dist.block_size(k) == 1 for k in range(8))

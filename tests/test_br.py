@@ -1,0 +1,83 @@
+"""Unit tests for the BR sequence (§2.3.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SequenceError
+from repro.hypercube import is_hamiltonian_path
+from repro.orderings import (
+    alpha,
+    br_sequence,
+    br_sequence_array,
+    degree,
+    link_histogram,
+    ruler_link,
+)
+
+
+class TestConstruction:
+    def test_base_case(self):
+        assert br_sequence(1) == (0,)
+
+    def test_recursion(self):
+        # D_i = <D_{i-1}, i-1, D_{i-1}>
+        for e in range(2, 10):
+            inner = br_sequence(e - 1)
+            assert br_sequence(e) == inner + (e - 1,) + inner
+
+    def test_paper_example_e4(self):
+        assert "".join(map(str, br_sequence(4))) == "010201030102010"
+
+    def test_array_matches_tuple(self):
+        for e in range(1, 12):
+            assert tuple(br_sequence_array(e)) == br_sequence(e)
+
+    def test_invalid_e(self):
+        with pytest.raises(SequenceError):
+            br_sequence(0)
+        with pytest.raises(SequenceError):
+            br_sequence_array(-1)
+
+
+class TestStructure:
+    def test_is_hamiltonian_for_all_practical_e(self):
+        for e in range(1, 16):
+            assert is_hamiltonian_path(br_sequence_array(e), e)
+
+    def test_alpha_is_half(self):
+        # alpha(D_e^BR) = 2**(e-1): link 0 fills every other position
+        for e in range(1, 14):
+            assert alpha(br_sequence_array(e)) == 1 << (e - 1)
+
+    def test_histogram_is_geometric(self):
+        # link i appears 2**(e-1-i) times
+        for e in (3, 6, 9):
+            hist = link_histogram(br_sequence(e))
+            assert hist == {i: 1 << (e - 1 - i) for i in range(e)}
+
+    def test_degree_is_two(self):
+        # "DeBR has degree 2 for any e" (Definition 2)
+        for e in range(3, 12):
+            assert degree(br_sequence_array(e)) == 2
+
+    def test_every_window_half_link0(self):
+        # the motivation of §2.4: any window of length Q >= 2 has at least
+        # floor(Q/2) zeros
+        seq = br_sequence_array(8)
+        for q in (2, 4, 8, 16):
+            windows = np.lib.stride_tricks.sliding_window_view(seq, q)
+            zeros = (windows == 0).sum(axis=1)
+            assert zeros.min() >= q // 2
+
+
+class TestRulerLink:
+    def test_matches_sequence(self):
+        seq = br_sequence(10)
+        for t, link in enumerate(seq, start=1):
+            assert ruler_link(t) == link
+
+    def test_rejects_zero(self):
+        with pytest.raises(SequenceError):
+            ruler_link(0)

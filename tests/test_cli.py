@@ -1,0 +1,71 @@
+"""End-to-end tests of the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1", "--min-e", "7", "--max-e", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "lower bound" in out
+
+    def test_table2_small(self, capsys):
+        assert main(["table2", "--matrices", "2", "--max-m", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out and "degree4" in out
+
+    def test_figure2_small(self, capsys):
+        assert main(["figure2", "--dims", "5..6", "--m-exponents", "18",
+                     "--no-chart"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2(a)" in out and "permuted-br" in out
+
+    def test_figure2_chart(self, capsys):
+        assert main(["figure2", "--dims", "5..6", "--m-exponents", "18"]) \
+            == 0
+        assert "chart" in capsys.readouterr().out
+
+    def test_figure2_one_port(self, capsys):
+        assert main(["figure2", "--dims", "5..5", "--m-exponents", "18",
+                     "--ports", "1", "--no-chart"]) == 0
+
+    def test_appendix(self, capsys):
+        assert main(["appendix"]) == 0
+        out = capsys.readouterr().out
+        assert "lemma2" in out and "1.25" in out
+
+    def test_sequences(self, capsys):
+        assert main(["sequences", "--max-e", "6", "--show", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "0102010310121014323132302321232" in out  # D5 p-BR
+        assert "0123012401230121012301240123012" in out  # D5 D4
+
+    def test_demo(self, capsys):
+        assert main(["demo", "--m", "32", "--d", "2", "--tol", "1e-8"]) == 0
+        out = capsys.readouterr().out
+        assert "speed-up" in out and "sweeps" in out
+
+    def test_crossover(self, capsys):
+        assert main(["crossover", "--dims", "6,8"]) == 0
+        out = capsys.readouterr().out
+        assert "Crossover" in out and "2^" in out
+
+    def test_calibration(self, capsys):
+        assert main(["calibration", "--m", "16", "--d", "2",
+                     "--matrices", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "calibration" in out.lower() and "frobenius" in out

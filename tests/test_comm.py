@@ -1,0 +1,132 @@
+"""Unit tests for the in-process message-passing world."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator import SimWorld
+
+
+class TestPointToPoint:
+    def test_sendrecv_exchange(self):
+        def program(comm):
+            partner = comm.size - 1 - comm.rank
+            return comm.sendrecv(comm.rank, partner)
+
+        assert SimWorld(4).run(program) == [3, 2, 1, 0]
+
+    def test_send_recv_fifo(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send("first", 1)
+                comm.send("second", 1)
+                return None
+            return (comm.recv(0), comm.recv(0))
+
+        results = SimWorld(2).run(program)
+        assert results[1] == ("first", "second")
+
+    def test_numpy_payloads(self):
+        def program(comm):
+            payload = np.full(8, comm.rank, dtype=np.float64)
+            other = comm.sendrecv(payload, comm.rank ^ 1)
+            return float(other.sum())
+
+        assert SimWorld(2).run(program) == [8.0, 0.0]
+
+    def test_self_message_rejected(self):
+        def program(comm):
+            comm.send("x", comm.rank)
+
+        with pytest.raises(SimulationError):
+            SimWorld(2).run(program)
+
+    def test_bad_peer_rejected(self):
+        def program(comm):
+            comm.send("x", 99)
+
+        with pytest.raises(SimulationError):
+            SimWorld(2).run(program)
+
+    def test_recv_timeout_is_deadlock_error(self):
+        def program(comm):
+            if comm.rank == 1:
+                return comm.recv(0, timeout=0.05)
+            return None
+
+        with pytest.raises(SimulationError, match="timed out|failed"):
+            SimWorld(2).run(program)
+
+
+class TestCollectives:
+    def test_barrier(self):
+        order = []
+
+        def program(comm):
+            order.append(("before", comm.rank))
+            comm.barrier()
+            order.append(("after", comm.rank))
+
+        SimWorld(3).run(program)
+        befores = [i for i, (tag, _) in enumerate(order) if tag == "before"]
+        afters = [i for i, (tag, _) in enumerate(order) if tag == "after"]
+        assert max(befores) < min(afters)
+
+    def test_gather(self):
+        def program(comm):
+            return comm.gather(comm.rank * 10, root=1)
+
+        results = SimWorld(3).run(program)
+        assert results[1] == [0, 10, 20]
+        assert results[0] is None and results[2] is None
+
+    def test_bcast(self):
+        def program(comm):
+            return comm.bcast("hello" if comm.rank == 2 else None, root=2)
+
+        assert SimWorld(4).run(program) == ["hello"] * 4
+
+    def test_allgather(self):
+        def program(comm):
+            return comm.allgather(comm.rank ** 2)
+
+        assert SimWorld(3).run(program) == [[0, 1, 4]] * 3
+
+    def test_allreduce_max(self):
+        def program(comm):
+            return comm.allreduce(float(comm.rank), op=max)
+
+        assert SimWorld(4).run(program) == [3.0] * 4
+
+    def test_allreduce_custom_op(self):
+        def program(comm):
+            return comm.allreduce(comm.rank + 1, op=lambda a, b: a * b)
+
+        assert SimWorld(4).run(program) == [24] * 4
+
+
+class TestWorldManagement:
+    def test_invalid_size(self):
+        with pytest.raises(SimulationError):
+            SimWorld(0)
+
+    def test_invalid_rank(self):
+        with pytest.raises(SimulationError):
+            SimWorld(2).comm(5)
+
+    def test_exception_propagates_with_rank(self):
+        def program(comm):
+            if comm.rank == 1:
+                raise ValueError("boom")
+            comm.barrier()
+
+        with pytest.raises(SimulationError, match="rank 1 failed"):
+            SimWorld(2).run(program)
+
+    def test_extra_args_forwarded(self):
+        def program(comm, base):
+            return base + comm.rank
+
+        assert SimWorld(3).run(program, 100) == [100, 101, 102]

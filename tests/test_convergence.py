@@ -1,0 +1,66 @@
+"""Unit tests for convergence measures and eigenpair extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError
+from repro.jacobi import extract_eigenpairs, off_frobenius, offdiag_measure
+
+
+class TestOffdiagMeasure:
+    def test_orthogonal_columns(self):
+        assert offdiag_measure(np.eye(4) * 3.0) == 0.0
+
+    def test_parallel_columns(self):
+        A = np.ones((4, 2))
+        assert offdiag_measure(A) == pytest.approx(1.0)
+
+    def test_scale_invariance(self, rng):
+        A = rng.normal(size=(8, 8))
+        assert offdiag_measure(A) == pytest.approx(offdiag_measure(7.5 * A))
+
+    def test_zero_column_is_orthogonal(self):
+        A = np.zeros((4, 2))
+        A[:, 0] = 1.0
+        assert offdiag_measure(A) == 0.0
+
+    def test_single_column(self):
+        assert offdiag_measure(np.ones((4, 1))) == 0.0
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(ConvergenceError):
+            offdiag_measure(np.zeros(3))
+
+
+class TestOffFrobenius:
+    def test_diagonal_gram(self):
+        assert off_frobenius(np.eye(3) * 2.0) == 0.0
+
+    def test_known_value(self):
+        A = np.array([[1.0, 1.0], [0.0, 1.0]])
+        # G = [[1,1],[1,2]] -> off = sqrt(1 + 1)
+        assert off_frobenius(A) == pytest.approx(np.sqrt(2.0))
+
+
+class TestExtractEigenpairs:
+    def test_diagonal_case(self):
+        A0 = np.diag([3.0, -1.0, 2.0])
+        lam, vec = extract_eigenpairs(A0 @ np.eye(3), np.eye(3))
+        assert lam.tolist() == [-1.0, 2.0, 3.0]
+        # eigenvector columns follow the sort
+        assert vec[:, 0].tolist() == [0.0, 1.0, 0.0]
+
+    def test_recovers_negative_eigenvalues(self, rng):
+        # construct symmetric with known spectrum including negatives
+        Q, _ = np.linalg.qr(rng.normal(size=(6, 6)))
+        lam_true = np.array([-5.0, -2.0, -0.5, 1.0, 3.0, 10.0])
+        A0 = Q @ np.diag(lam_true) @ Q.T
+        lam, vec = extract_eigenpairs(A0 @ Q, Q)
+        assert np.allclose(lam, lam_true)
+        assert np.allclose(A0 @ vec, vec * lam, atol=1e-10)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConvergenceError):
+            extract_eigenpairs(np.zeros((3, 3)), np.zeros((4, 4)))

@@ -1,0 +1,272 @@
+"""Unit tests for the multi-port communication cost model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ccube import (
+    IdealPhaseCostModel,
+    MachineParams,
+    PAPER_MACHINE,
+    PipelinedSchedule,
+    CCCubeAlgorithm,
+    SequencePhaseCostModel,
+    default_q_candidates,
+    jacobi_message_elems,
+    lower_bound_sweep_cost,
+    max_pipelining_degree,
+    optimal_pipelining_degree,
+    sweep_communication_cost,
+    unpipelined_sweep_cost,
+)
+from repro.errors import PipeliningError
+from repro.orderings import br_sequence, get_ordering
+
+
+def stage_by_stage_cost(seq, machine, M, Q):
+    """Reference implementation: enumerate the pipelined schedule's stages
+    and charge each with the machine model."""
+    alg = CCCubeAlgorithm(tuple(seq), message_elems=M)
+    sched = PipelinedSchedule(alg, Q)
+    total = 0.0
+    for s in range(sched.num_stages):
+        links, counts = sched.stage_link_multiset(s)
+        total += machine.stage_cost(distinct=len(links),
+                                    max_multiplicity=int(counts.max()),
+                                    total=int(counts.sum()),
+                                    packet_elems=M / Q)
+    return total
+
+
+class TestMachineParams:
+    def test_transition_cost(self):
+        m = MachineParams(ts=10.0, tw=2.0)
+        assert m.transition_cost(100) == 210.0
+
+    def test_all_port_busy(self):
+        m = MachineParams(ports=None)
+        assert m.busy_volume(3, 10) == 3
+
+    def test_k_port_busy(self):
+        m = MachineParams(ports=2)
+        assert m.busy_volume(3, 10) == 5  # ceil(10/2) dominates
+
+    def test_one_port_serialises(self):
+        m = MachineParams(ports=1)
+        assert m.busy_volume(3, 10) == 10
+
+    def test_invalid(self):
+        with pytest.raises(PipeliningError):
+            MachineParams(ts=-1.0)
+        with pytest.raises(PipeliningError):
+            MachineParams(ports=0)
+
+    def test_describe(self):
+        assert "all-port" in MachineParams().describe()
+        assert "1-port" in MachineParams(ports=1).describe()
+
+
+class TestMessageSizing:
+    def test_jacobi_message(self):
+        # m*m / 2**d elements per transition (A block + U block)
+        assert jacobi_message_elems(64, 3) == 64 * 64 / 8
+
+    def test_q_cap_is_columns_per_block(self):
+        assert max_pipelining_degree(1 << 18, 15) == 4
+        assert max_pipelining_degree(64, 2) == 8
+
+    def test_too_small_matrix(self):
+        with pytest.raises(PipeliningError):
+            jacobi_message_elems(4, 2)
+
+
+class TestPhaseCostAgainstSchedule:
+    """The closed-form phase model must equal charging the explicit
+    pipelined schedule stage by stage."""
+
+    @pytest.mark.parametrize("e,Q", [(3, 1), (3, 2), (3, 7), (3, 12),
+                                     (4, 5), (5, 31), (5, 40), (4, 15)])
+    def test_matches_explicit_stages(self, e, Q):
+        seq = br_sequence(e)
+        M = 1024.0
+        model = SequencePhaseCostModel(seq, PAPER_MACHINE, M)
+        assert model.cost(Q) == pytest.approx(
+            stage_by_stage_cost(seq, PAPER_MACHINE, M, Q))
+
+    @pytest.mark.parametrize("ports", [1, 2, 3])
+    def test_matches_with_limited_ports(self, ports):
+        machine = MachineParams(ts=100.0, tw=5.0, ports=ports)
+        seq = get_ordering("degree4", 5).phase_sequence(5)
+        model = SequencePhaseCostModel(seq, machine, 512.0)
+        for Q in (1, 3, 8, 31, 45):
+            assert model.cost(Q) == pytest.approx(
+                stage_by_stage_cost(seq, machine, 512.0, Q))
+
+    def test_q1_equals_unpipelined(self):
+        for e in (2, 4, 6):
+            model = SequencePhaseCostModel(br_sequence(e), PAPER_MACHINE,
+                                           2048.0)
+            assert model.cost(1) == pytest.approx(model.unpipelined_cost())
+
+    def test_deep_kernel_marginal_cost(self):
+        # paper §3.1: a deep kernel stage costs e*Ts + alpha*S*Tw.  At huge
+        # Q the packet terms (proportional to M/Q) vanish, so the marginal
+        # cost of one more kernel stage tends to exactly e*Ts.
+        e, M = 4, 1500.0
+        seq = br_sequence(e)
+        model = SequencePhaseCostModel(seq, PAPER_MACHINE, M)
+        Q = 10 ** 7
+        marginal = model.cost(Q + 1) - model.cost(Q)
+        assert marginal == pytest.approx(e * PAPER_MACHINE.ts, rel=1e-4)
+
+    def test_deep_kernel_stage_cost_exact(self):
+        # with prologue/epilogue subtracted, kernel stages cost exactly
+        # e*Ts + alpha*(M/Q)*Tw each
+        e, M, Q = 4, 1500.0, 40
+        seq = br_sequence(e)
+        K = len(seq)
+        alpha = 1 << (e - 1)
+        expected_kernel = (Q - K + 1) * (
+            e * PAPER_MACHINE.ts + alpha * (M / Q) * PAPER_MACHINE.tw)
+        explicit = stage_by_stage_cost(seq, PAPER_MACHINE, M, Q)
+        # subtract explicit prologue+epilogue stage costs
+        alg = CCCubeAlgorithm(tuple(seq), message_elems=M)
+        sched = PipelinedSchedule(alg, Q)
+        pe = 0.0
+        for s in list(sched.prologue_stages) + list(sched.epilogue_stages):
+            links, counts = sched.stage_link_multiset(s)
+            pe += PAPER_MACHINE.stage_cost(len(links), int(counts.max()),
+                                           int(counts.sum()), M / Q)
+        assert explicit - pe == pytest.approx(expected_kernel)
+
+    def test_q_above_cap_raises(self):
+        model = SequencePhaseCostModel((0, 1, 0), PAPER_MACHINE, 8.0,
+                                       q_max=2)
+        with pytest.raises(PipeliningError):
+            model.cost(3)
+
+
+class TestOptimalQ:
+    def test_matches_brute_force_small(self):
+        seq = get_ordering("permuted-br", 4).phase_sequence(4)
+        M = 4096.0
+        model = SequencePhaseCostModel(seq, PAPER_MACHINE, M, q_max=64)
+        best = model.optimal()
+        brute = min(model.cost(q) for q in range(1, 65))
+        assert best.cost == pytest.approx(brute)
+
+    def test_deep_selected_when_transmission_dominates(self):
+        seq = get_ordering("permuted-br", 5).phase_sequence(5)
+        model = SequencePhaseCostModel(seq, MachineParams(ts=1.0, tw=100.0),
+                                       1e7, q_max=100000)
+        res = model.optimal()
+        assert res.deep and res.Q > len(seq)
+
+    def test_q1_selected_when_startup_dominates(self):
+        seq = br_sequence(4)
+        model = SequencePhaseCostModel(seq, MachineParams(ts=1e9, tw=1e-9),
+                                       8.0, q_max=1000)
+        assert model.optimal().Q == 1
+
+    def test_optimal_wrapper(self):
+        res = optimal_pipelining_degree(br_sequence(4), PAPER_MACHINE,
+                                        4096.0, q_max=64)
+        assert res.K == 15 and 1 <= res.Q <= 64
+        assert res.speedup >= 1.0
+
+    def test_candidates_include_bounds(self):
+        cands = default_q_candidates(1000, q_max=500)
+        assert 1 in cands and 500 in cands
+        assert all(1 <= c <= 500 for c in cands)
+
+
+class TestSweepCosts:
+    def test_unpipelined_reference(self):
+        d, m = 4, 256
+        ref = unpipelined_sweep_cost(d, m, PAPER_MACHINE)
+        M = jacobi_message_elems(m, d)
+        assert ref == pytest.approx((2 ** (d + 1) - 1)
+                                    * (1000.0 + 100.0 * M))
+
+    def test_pipelined_never_worse(self, ordering_name):
+        d, m = 4, 1 << 10
+        if ordering_name == "min-alpha" and d > 6:
+            pytest.skip()
+        ref = unpipelined_sweep_cost(d, m, PAPER_MACHINE)
+        bd = sweep_communication_cost(get_ordering(ordering_name, d), m,
+                                      PAPER_MACHINE)
+        assert bd.total <= ref * (1 + 1e-12)
+
+    def test_unpipelined_flag(self):
+        d, m = 3, 256
+        bd = sweep_communication_cost(get_ordering("br", d), m,
+                                      PAPER_MACHINE, pipelined=False)
+        assert bd.total == pytest.approx(
+            unpipelined_sweep_cost(d, m, PAPER_MACHINE))
+
+    def test_lower_bound_below_everything(self):
+        d, m = 6, 1 << 12
+        lb = lower_bound_sweep_cost(d, m, PAPER_MACHINE).total
+        for name in ("br", "permuted-br", "degree4", "min-alpha"):
+            bd = sweep_communication_cost(get_ordering(name, d), m,
+                                          PAPER_MACHINE)
+            assert lb <= bd.total * (1 + 1e-12), name
+
+    def test_paper_headline_factors(self):
+        # transmission-dominated deep regime (q_max = m/2**(d+1) = 2048
+        # comfortably exceeds the longest phase K = 255):
+        # pipelined BR ~ 1/2, degree-4 ~ 1/4, permuted-BR below both
+        d, m = 8, 1 << 20
+        ref = unpipelined_sweep_cost(d, m, PAPER_MACHINE)
+        br = sweep_communication_cost(get_ordering("br", d), m,
+                                      PAPER_MACHINE).total / ref
+        d4 = sweep_communication_cost(get_ordering("degree4", d), m,
+                                      PAPER_MACHINE).total / ref
+        pbr = sweep_communication_cost(get_ordering("permuted-br", d), m,
+                                       PAPER_MACHINE).total / ref
+        assert 0.45 <= br <= 0.60
+        assert 0.20 <= d4 <= 0.32
+        assert pbr < d4  # deep regime: permuted-BR wins
+        lb = lower_bound_sweep_cost(d, m, PAPER_MACHINE).total / ref
+        assert lb <= pbr
+
+    def test_one_port_gains_capped(self):
+        # on a one-port machine pipelining cannot exploit multiple links;
+        # the only effect left is packetisation overhead vs combining, so
+        # the gain must be negligible
+        d, m = 5, 1 << 12
+        machine = MachineParams(ts=1000.0, tw=100.0, ports=1)
+        ref = unpipelined_sweep_cost(d, m, machine)
+        bd = sweep_communication_cost(get_ordering("permuted-br", d), m,
+                                      machine)
+        assert bd.total >= 0.95 * ref
+
+    def test_breakdown_metadata(self):
+        bd = sweep_communication_cost(get_ordering("degree4", 5), 1 << 12,
+                                      PAPER_MACHINE)
+        assert [p.span for p in bd.phases] == [5, 4, 3, 2, 1]
+        assert bd.ordering_name == "degree4"
+        assert bd.barrier_cost > 0
+        assert isinstance(bd.deep_in_largest_phase, bool)
+        assert 0 <= bd.num_deep_phases <= 5
+
+    def test_requires_d_at_least_1(self):
+        with pytest.raises(PipeliningError):
+            sweep_communication_cost(get_ordering("br", 0), 8, PAPER_MACHINE)
+
+
+class TestIdealModel:
+    def test_ideal_below_real_per_phase(self):
+        for e in (3, 5, 7):
+            seq = get_ordering("permuted-br", e).phase_sequence(e)
+            M = 8192.0
+            real = SequencePhaseCostModel(seq, PAPER_MACHINE, M)
+            ideal = IdealPhaseCostModel(e, PAPER_MACHINE, M)
+            for Q in (1, 2, 4, (1 << e) - 1, 1 << e):
+                assert ideal.cost(Q) <= real.cost(Q) * (1 + 1e-12)
+
+    def test_ideal_alpha(self):
+        model = IdealPhaseCostModel(5, PAPER_MACHINE, 64.0)
+        assert model.alpha == 7  # ceil(31/5)
+        assert model.full_distinct == 5

@@ -1,0 +1,91 @@
+"""Tests for the crossover and calibration analysis drivers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.calibration import (
+    compute_calibration,
+    render_calibration,
+    sweeps_under_criterion,
+)
+from repro.analysis.crossover import (
+    compute_crossover_table,
+    crossover_matrix_size,
+    render_crossover_table,
+    winner_for,
+)
+from repro.ccube import MachineParams
+from repro.jacobi import make_symmetric_test_matrix
+
+
+class TestCrossover:
+    def test_winner_shallow_regime(self):
+        # small matrix on a big cube: the column cap forces shallow mode;
+        # degree-4 wins
+        point = winner_for(d=10, m=1 << 14, machine=MachineParams())
+        assert point.winner == "degree4"
+        assert not point.deep
+
+    def test_winner_deep_regime(self):
+        point = winner_for(d=8, m=1 << 20, machine=MachineParams())
+        assert point.winner == "permuted-br"
+        assert point.deep
+
+    def test_crossover_moves_with_dimension(self):
+        machine = MachineParams()
+        small = crossover_matrix_size(6, machine)
+        large = crossover_matrix_size(12, machine)
+        assert small is not None and large is not None
+        # bigger cubes need bigger matrices before deep mode pays
+        assert large >= small
+
+    def test_crossover_consistency(self):
+        # at the crossover exponent permuted-BR must actually win, and at
+        # the previous exponent it must not
+        machine = MachineParams()
+        d = 8
+        exp = crossover_matrix_size(d, machine)
+        assert exp is not None
+        assert winner_for(d, 1 << exp, machine).winner == "permuted-br"
+        if (1 << (exp - 1)) >= (1 << (d + 1)):
+            assert winner_for(d, 1 << (exp - 1), machine).winner \
+                == "degree4"
+
+    def test_render(self):
+        rows = compute_crossover_table(dims=(6, 8))
+        text = render_crossover_table(rows)
+        assert "Crossover" in text and "2^" in text
+
+
+class TestCalibration:
+    def test_criteria_agree_on_order_of_magnitude(self, rng):
+        A = make_symmetric_test_matrix(16, rng)
+        a = sweeps_under_criterion(A, d=2, criterion="scaled-max",
+                                   tol=1e-8)
+        b = sweeps_under_criterion(A, d=2, criterion="frobenius", tol=1e-8)
+        assert abs(a - b) <= 2
+
+    def test_tighter_tol_needs_no_fewer_sweeps(self, rng):
+        A = make_symmetric_test_matrix(16, rng)
+        loose = sweeps_under_criterion(A, 2, "scaled-max", 1e-4)
+        tight = sweeps_under_criterion(A, 2, "scaled-max", 1e-10)
+        assert tight >= loose
+
+    def test_unknown_criterion(self, rng):
+        A = make_symmetric_test_matrix(16, rng)
+        with pytest.raises(ValueError):
+            sweeps_under_criterion(A, 2, "vibes", 1e-8)
+
+    def test_compute_and_render_small(self):
+        rows = compute_calibration(m=16, d=2, num_matrices=2,
+                                   tols=(1e-4, 1e-8))
+        assert len(rows) == 4  # 2 criteria x 2 tols
+        # quadratic convergence: 4 decades of tolerance cost <= ~2 sweeps
+        by_crit = {}
+        for r in rows:
+            by_crit.setdefault(r.criterion, []).append(r.mean_sweeps)
+        for vals in by_crit.values():
+            assert max(vals) - min(vals) <= 2.0
+        text = render_calibration(rows, m=16, d=2)
+        assert "calibration" in text.lower()

@@ -1,0 +1,112 @@
+"""Unit tests for the degree-4 sequence (§3.3, Lemma 1, Theorem 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import OrderingError
+from repro.hypercube import is_hamiltonian_path, path_end
+from repro.orderings import (
+    DEGREE4_MIN_E,
+    alpha,
+    degree,
+    degree4_sequence,
+    e_sequence,
+    fraction_distinct_windows,
+    window_max_multiplicities,
+)
+from repro.orderings.degree4 import degree4_sequence_array
+
+
+class TestESequence:
+    def test_base(self):
+        assert e_sequence(3) == (0, 1, 2, 3, 0, 1, 2)
+
+    def test_recursion(self):
+        for i in range(4, 10):
+            inner = e_sequence(i - 1)
+            assert e_sequence(i) == inner + (i,) + inner
+
+    def test_invalid(self):
+        with pytest.raises(OrderingError):
+            e_sequence(2)
+
+    def test_e_sequence_is_not_hamiltonian_itself(self):
+        # E_i uses link i, outside [0, i): only the final composition is a
+        # Hamiltonian path.
+        assert not is_hamiltonian_path(e_sequence(3), 3)
+
+
+class TestConstruction:
+    def test_paper_example_e5(self):
+        assert ("".join(map(str, degree4_sequence(5)))
+                == "0123012401230121012301240123012")
+
+    def test_central_separator_is_link1(self):
+        for e in range(4, 12):
+            seq = degree4_sequence(e)
+            assert seq[len(seq) // 2] == 1
+
+    def test_array_matches_recursive(self):
+        for e in range(4, 14):
+            assert tuple(degree4_sequence_array(e)) == degree4_sequence(e)
+
+    def test_invalid_e(self):
+        with pytest.raises(OrderingError):
+            degree4_sequence(3)
+        with pytest.raises(OrderingError):
+            degree4_sequence_array(DEGREE4_MIN_E - 1)
+
+
+class TestTheorem1:
+    def test_is_e_sequence_for_all_practical_e(self):
+        for e in range(4, 16):
+            assert is_hamiltonian_path(degree4_sequence_array(e), e)
+
+
+class TestLemma1:
+    def test_endpoints_are_dimension1_neighbors(self):
+        # Lemma 1: the path described by D_e^D4 ends one dimension-1 hop
+        # from its start.
+        for e in range(4, 14):
+            for start in (0, 3):
+                end = path_end(degree4_sequence(e), start)
+                assert end == start ^ 0b10, (e, start)
+
+
+class TestDegreeProperty:
+    def test_degree_is_four(self):
+        for e in range(5, 13):
+            assert degree(degree4_sequence_array(e)) == 4
+
+    def test_exactly_four_bad_length4_windows(self):
+        # "only four central subsequences of length 4 have not different
+        # elements (<0121>, <1210>, <2101> and <1012> in the previous
+        # example)"
+        for e in (5, 8, 11):
+            seq = degree4_sequence_array(e)
+            mults = window_max_multiplicities(seq, 4)
+            assert int((mults > 1).sum()) == 4
+
+    def test_bad_windows_are_the_central_ones(self):
+        seq = degree4_sequence_array(5)
+        windows = np.lib.stride_tricks.sliding_window_view(seq, 4)
+        bad = ["".join(map(str, w)) for w in windows
+               if len(set(w.tolist())) < 4]
+        assert bad == ["0121", "1210", "2101", "1012"]
+
+    def test_most_length5_windows_repeat(self):
+        # degree is *exactly* 4: the majority of length-5 windows repeat a
+        # link (E_3 has period 4 in links 0..2).
+        for e in (6, 9):
+            assert fraction_distinct_windows(
+                degree4_sequence_array(e), 5) <= 0.5
+
+
+class TestAlpha:
+    def test_alpha_about_quarter(self):
+        # count(0) = 2**(e-2): deep-pipelining gain saturates at ~4x.
+        for e in range(4, 14):
+            a = alpha(degree4_sequence_array(e))
+            assert (1 << (e - 2)) <= a <= (1 << (e - 2)) + 2

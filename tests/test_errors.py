@@ -1,0 +1,78 @@
+"""Tests of the exception hierarchy contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    ConvergenceError,
+    OrderingError,
+    PipeliningError,
+    ReproError,
+    ScheduleError,
+    SequenceError,
+    SimulationError,
+    TopologyError,
+)
+
+ALL_ERRORS = (TopologyError, SequenceError, OrderingError, ScheduleError,
+              PipeliningError, ConvergenceError, SimulationError)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", ALL_ERRORS)
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        assert issubclass(exc, Exception)
+
+    def test_one_except_clause_catches_everything(self):
+        for exc in ALL_ERRORS:
+            with pytest.raises(ReproError):
+                raise exc("boom")
+
+    def test_convergence_error_payload(self):
+        exc = ConvergenceError("stalled", sweeps=7, off_norm=1e-3)
+        assert exc.sweeps == 7
+        assert exc.off_norm == 1e-3
+
+    def test_convergence_error_defaults(self):
+        exc = ConvergenceError("stalled")
+        assert exc.sweeps is None and exc.off_norm is None
+
+
+class TestLibraryRaisesOwnTypes:
+    def test_topology(self):
+        from repro.hypercube import Hypercube
+
+        with pytest.raises(TopologyError):
+            Hypercube(2).neighbor(0, 9)
+
+    def test_sequence(self):
+        from repro.hypercube import validate_sequence
+
+        with pytest.raises(SequenceError):
+            validate_sequence([0, 0, 1])
+
+    def test_ordering(self):
+        from repro.orderings import get_ordering
+
+        with pytest.raises(OrderingError):
+            get_ordering("not-a-thing", 3)
+
+    def test_schedule(self):
+        from repro.orderings import sweep_length
+
+        with pytest.raises(ScheduleError):
+            sweep_length(-1)
+
+    def test_pipelining(self):
+        from repro.ccube import MachineParams
+
+        with pytest.raises(PipeliningError):
+            MachineParams(ports=0)
+
+    def test_simulation(self):
+        from repro.simulator import SimWorld
+
+        with pytest.raises(SimulationError):
+            SimWorld(0)

@@ -1,0 +1,143 @@
+"""Unit tests for sequence metrics (alpha, degree, window statistics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SequenceError
+from repro.orderings import (
+    alpha,
+    alpha_lower_bound,
+    degree,
+    fraction_distinct_windows,
+    ideal_window_distinct,
+    ideal_window_max_multiplicity,
+    link_histogram,
+    window_distinct_counts,
+    window_max_multiplicities,
+    window_stats,
+)
+
+
+def brute_force_window_stats(seq, q):
+    seq = list(seq)
+    distinct, mults = [], []
+    for i in range(len(seq) - q + 1):
+        w = seq[i:i + q]
+        distinct.append(len(set(w)))
+        mults.append(max(w.count(x) for x in set(w)))
+    return distinct, mults
+
+
+class TestHistogramAndAlpha:
+    def test_histogram(self):
+        assert link_histogram([0, 1, 0, 2, 0, 1, 0]) == {0: 4, 1: 2, 2: 1}
+
+    def test_histogram_includes_gaps(self):
+        assert link_histogram([0, 3]) == {0: 1, 1: 0, 2: 0, 3: 1}
+
+    def test_alpha(self):
+        assert alpha([0, 1, 0, 2, 0, 1, 0]) == 4
+        assert alpha([0]) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(SequenceError):
+            alpha([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(SequenceError):
+            alpha([0, -1])
+
+
+class TestLowerBound:
+    def test_values(self):
+        # ceil((2**e - 1)/e)
+        assert [alpha_lower_bound(e) for e in range(1, 9)] == \
+            [1, 2, 3, 4, 7, 11, 19, 32]
+
+    def test_matches_paper_table1_bounds(self):
+        # the paper's printed bounds for e = 7..14 (its e=9 entry reads 58,
+        # a typo for ceil(511/9) = 57)
+        expected = {7: 19, 8: 32, 9: 57, 10: 103, 11: 187, 12: 342,
+                    13: 631, 14: 1171}
+        for e, lb in expected.items():
+            assert alpha_lower_bound(e) == lb
+
+    def test_invalid(self):
+        with pytest.raises(SequenceError):
+            alpha_lower_bound(0)
+
+
+class TestWindowStats:
+    @pytest.mark.parametrize("q", [1, 2, 3, 5, 7])
+    def test_matches_brute_force(self, q, rng):
+        seq = rng.integers(0, 4, size=40)
+        bd, bm = brute_force_window_stats(seq.tolist(), q)
+        assert window_distinct_counts(seq, q).tolist() == bd
+        assert window_max_multiplicities(seq, q).tolist() == bm
+        d2, m2 = window_stats(seq, q)
+        assert d2.tolist() == bd and m2.tolist() == bm
+
+    def test_full_window(self):
+        seq = [0, 1, 0, 2]
+        assert window_distinct_counts(seq, 4).tolist() == [3]
+        assert window_max_multiplicities(seq, 4).tolist() == [2]
+
+    def test_invalid_window_length(self):
+        with pytest.raises(SequenceError):
+            window_distinct_counts([0, 1], 3)
+        with pytest.raises(SequenceError):
+            window_max_multiplicities([0, 1], 0)
+
+    def test_fraction_distinct(self):
+        # windows of length 2 of 0102010: 01,10,02,20,01,10 - all distinct
+        assert fraction_distinct_windows([0, 1, 0, 2, 0, 1, 0], 2) == 1.0
+        # windows of length 3: 010,102,020,201,010 - only 102 and 201
+        # are repetition-free
+        assert fraction_distinct_windows([0, 1, 0, 2, 0, 1, 0], 3) == \
+            pytest.approx(0.4)
+
+
+class TestDegree:
+    def test_br_degree_2(self):
+        assert degree([0, 1, 0, 2, 0, 1, 0]) == 2
+
+    def test_all_distinct_sequence(self):
+        assert degree([0, 1, 2, 3]) == 4
+
+    def test_constant_sequence(self):
+        assert degree([0, 0, 0]) == 1
+
+    def test_majority_threshold(self):
+        # 0120 12 012: length-3 windows: 012,120,201,... mostly distinct
+        seq = [0, 1, 2, 0, 1, 2, 0, 1, 2]
+        assert degree(seq) == 3
+
+
+class TestIdealStats:
+    def test_distinct(self):
+        assert ideal_window_distinct(3, 5) == 3
+        assert ideal_window_distinct(9, 5) == 5
+
+    def test_max_multiplicity(self):
+        assert ideal_window_max_multiplicity(5, 5) == 1
+        assert ideal_window_max_multiplicity(6, 5) == 2
+        assert ideal_window_max_multiplicity(11, 5) == 3
+
+    def test_invalid(self):
+        with pytest.raises(SequenceError):
+            ideal_window_distinct(0, 5)
+        with pytest.raises(SequenceError):
+            ideal_window_max_multiplicity(3, 0)
+
+    def test_ideal_dominates_real_sequences(self):
+        # no real window can have more distinct links or fewer repeats
+        from repro.orderings import br_sequence_array, permuted_br_sequence_array
+        for seq in (br_sequence_array(6), permuted_br_sequence_array(6)):
+            e = 6
+            for q in (2, 4, 8, 16):
+                assert window_distinct_counts(seq, q).max() <= \
+                    ideal_window_distinct(q, e)
+                assert window_max_multiplicities(seq, q).min() >= \
+                    ideal_window_max_multiplicity(q, e)

@@ -1,0 +1,75 @@
+"""Unit tests for the minimum-alpha sequences (§3.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OrderingError
+from repro.hypercube import is_hamiltonian_path
+from repro.orderings import (
+    MIN_ALPHA_MAX_E,
+    MIN_ALPHA_SEQUENCES,
+    alpha,
+    alpha_lower_bound,
+    min_alpha_sequence,
+    search_min_alpha_sequence,
+)
+
+
+class TestPublishedSequences:
+    def test_all_stored_sequences_are_hamiltonian(self):
+        for e, seq in MIN_ALPHA_SEQUENCES.items():
+            assert is_hamiltonian_path(seq, e), f"e={e}"
+
+    def test_all_meet_the_lower_bound(self):
+        # The paper's table: alpha = 2, 3, 4, 7, 11 for e = 2..6 — each
+        # exactly ceil((2**e - 1)/e).
+        expected = {1: 1, 2: 2, 3: 3, 4: 4, 5: 7, 6: 11}
+        for e, seq in MIN_ALPHA_SEQUENCES.items():
+            assert alpha(seq) == expected[e] == alpha_lower_bound(e)
+
+    def test_accessor_validates(self):
+        for e in range(1, MIN_ALPHA_MAX_E + 1):
+            assert min_alpha_sequence(e) == MIN_ALPHA_SEQUENCES[e]
+
+    def test_unknown_e_raises(self):
+        with pytest.raises(OrderingError, match="only known"):
+            min_alpha_sequence(7)
+
+    def test_paper_d3_sequence_exact(self):
+        assert "".join(map(str, min_alpha_sequence(3))) == "0102101"
+
+
+class TestSearch:
+    def test_search_reaches_lower_bound_small_e(self):
+        # Independently re-derive optimal sequences for e <= 4.
+        for e in (1, 2, 3, 4):
+            seq = search_min_alpha_sequence(e)
+            assert seq is not None
+            assert is_hamiltonian_path(seq, e)
+            assert alpha(seq) == alpha_lower_bound(e)
+
+    def test_search_infeasible_budget_returns_none(self):
+        # a 3-cube Hamiltonian path cannot have alpha below ceil(7/3)=3;
+        # alpha=2 allows only 6 < 7 transitions
+        assert search_min_alpha_sequence(3, alpha_budget=2) is None
+
+    def test_search_with_loose_budget(self):
+        seq = search_min_alpha_sequence(3, alpha_budget=4)
+        assert seq is not None and alpha(seq) <= 4
+
+    def test_node_limit_aborts(self):
+        with pytest.raises(OrderingError, match="inconclusive"):
+            search_min_alpha_sequence(5, node_limit=3)
+
+    def test_invalid_args(self):
+        with pytest.raises(OrderingError):
+            search_min_alpha_sequence(0)
+        with pytest.raises(OrderingError):
+            search_min_alpha_sequence(3, alpha_budget=0)
+
+    @pytest.mark.slow
+    def test_search_e5_reaches_published_optimum(self):
+        seq = search_min_alpha_sequence(5)
+        assert seq is not None
+        assert alpha(seq) == 7 == alpha(min_alpha_sequence(5))

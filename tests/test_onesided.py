@@ -1,0 +1,113 @@
+"""Unit tests for the sequential one-sided Jacobi solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError
+from repro.jacobi import make_symmetric_test_matrix, onesided_jacobi
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("m", [2, 4, 8, 16, 33])
+    def test_matches_eigh(self, m, rng):
+        A = make_symmetric_test_matrix(m, rng)
+        res = onesided_jacobi(A, tol=1e-12)
+        ref = np.linalg.eigh(A)[0]
+        assert np.abs(res.eigenvalues - ref).max() < 1e-8
+        assert res.converged
+
+    def test_eigenvector_residual(self, rng):
+        A = make_symmetric_test_matrix(12, rng)
+        res = onesided_jacobi(A, tol=1e-12)
+        R = A @ res.eigenvectors - res.eigenvectors * res.eigenvalues
+        assert np.abs(R).max() < 1e-8
+
+    def test_eigenvectors_orthonormal(self, rng):
+        A = make_symmetric_test_matrix(10, rng)
+        res = onesided_jacobi(A, tol=1e-12)
+        V = res.eigenvectors
+        assert np.abs(V.T @ V - np.eye(10)).max() < 1e-12
+
+    def test_cyclic_order_also_correct(self, rng):
+        A = make_symmetric_test_matrix(8, rng)
+        res = onesided_jacobi(A, tol=1e-12, order="cyclic")
+        assert np.abs(res.eigenvalues - np.linalg.eigh(A)[0]).max() < 1e-8
+
+    def test_matches_scipy(self, rng):
+        scipy_linalg = pytest.importorskip("scipy.linalg")
+        A = make_symmetric_test_matrix(14, rng)
+        res = onesided_jacobi(A, tol=1e-12)
+        assert np.abs(res.eigenvalues - scipy_linalg.eigh(A)[0]).max() < 1e-8
+
+    def test_diagonal_matrix_converges_immediately(self):
+        res = onesided_jacobi(np.diag([1.0, 2.0, 3.0, 4.0]))
+        assert res.sweeps == 0
+        assert res.eigenvalues.tolist() == [1.0, 2.0, 3.0, 4.0]
+
+    def test_repeated_eigenvalues(self, rng):
+        Q, _ = np.linalg.qr(rng.normal(size=(6, 6)))
+        A = Q @ np.diag([2.0, 2.0, 2.0, -1.0, -1.0, 5.0]) @ Q.T
+        A = (A + A.T) / 2
+        res = onesided_jacobi(A, tol=1e-12)
+        assert np.allclose(res.eigenvalues,
+                           [-1.0, -1.0, 2.0, 2.0, 2.0, 5.0], atol=1e-8)
+
+
+class TestModesAndErrors:
+    def test_without_eigenvectors(self, rng):
+        A = make_symmetric_test_matrix(8, rng)
+        res = onesided_jacobi(A, tol=1e-12, compute_eigenvectors=False)
+        # only |lambda| available without U
+        ref = np.sort(np.abs(np.linalg.eigh(A)[0]))
+        assert np.abs(res.eigenvalues - ref).max() < 1e-8
+        assert res.eigenvectors.shape == (8, 0)
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ConvergenceError):
+            onesided_jacobi(np.zeros((3, 4)))
+
+    def test_rejects_nonsymmetric(self):
+        with pytest.raises(ConvergenceError):
+            onesided_jacobi(np.triu(np.ones((4, 4))))
+
+    def test_rejects_unknown_order(self):
+        with pytest.raises(ConvergenceError):
+            onesided_jacobi(np.eye(4), order="zigzag")
+
+    def test_max_sweeps_exhausted_raises(self, rng):
+        A = make_symmetric_test_matrix(16, rng)
+        with pytest.raises(ConvergenceError) as exc:
+            onesided_jacobi(A, tol=1e-15, max_sweeps=1)
+        assert exc.value.sweeps == 1
+        assert exc.value.off_norm is not None
+
+    def test_no_raise_flag(self, rng):
+        A = make_symmetric_test_matrix(16, rng)
+        res = onesided_jacobi(A, tol=1e-15, max_sweeps=1,
+                              raise_on_no_convergence=False)
+        assert not res.converged and res.sweeps == 1
+
+    def test_off_history_monotone_tail(self, rng):
+        A = make_symmetric_test_matrix(16, rng)
+        res = onesided_jacobi(A, tol=1e-13)
+        # quadratic convergence: the last steps decrease strictly
+        tail = res.off_history[-3:]
+        assert all(a > b for a, b in zip(tail, tail[1:]))
+
+
+class TestTestMatrixGenerator:
+    def test_symmetric_uniform(self, rng):
+        A = make_symmetric_test_matrix(20, rng)
+        assert np.array_equal(A, A.T)
+        assert A.min() >= -1.0 and A.max() <= 1.0
+
+    def test_custom_range(self, rng):
+        A = make_symmetric_test_matrix(10, rng, low=0.0, high=2.0)
+        assert A.min() >= 0.0 and A.max() <= 2.0
+
+    def test_seed_reproducible(self):
+        a = make_symmetric_test_matrix(8, 42)
+        b = make_symmetric_test_matrix(8, 42)
+        assert np.array_equal(a, b)

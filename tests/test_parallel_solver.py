@@ -1,0 +1,144 @@
+"""Unit tests for the simulated-parallel one-sided Jacobi solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ccube import MachineParams
+from repro.errors import ConvergenceError, SimulationError
+from repro.jacobi import (
+    ParallelOneSidedJacobi,
+    make_symmetric_test_matrix,
+    onesided_jacobi,
+)
+from repro.orderings import get_ordering
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    def test_matches_eigh(self, ordering_name, d, rng):
+        A = make_symmetric_test_matrix(32, rng)
+        solver = ParallelOneSidedJacobi(get_ordering(ordering_name, d),
+                                        tol=1e-12)
+        res = solver.solve(A)
+        assert np.abs(res.eigenvalues - np.linalg.eigh(A)[0]).max() < 1e-8
+        R = A @ res.eigenvectors - res.eigenvectors * res.eigenvalues
+        assert np.abs(R).max() < 1e-7
+
+    def test_uneven_blocks(self, rng):
+        A = make_symmetric_test_matrix(19, rng)
+        res = ParallelOneSidedJacobi(get_ordering("br", 2),
+                                     tol=1e-12).solve(A)
+        assert np.abs(res.eigenvalues - np.linalg.eigh(A)[0]).max() < 1e-8
+
+    def test_one_column_per_block(self, rng):
+        A = make_symmetric_test_matrix(8, rng)
+        res = ParallelOneSidedJacobi(get_ordering("br", 2),
+                                     tol=1e-12).solve(A)
+        assert np.abs(res.eigenvalues - np.linalg.eigh(A)[0]).max() < 1e-8
+
+    def test_single_node_machine(self, rng):
+        A = make_symmetric_test_matrix(8, rng)
+        res = ParallelOneSidedJacobi(get_ordering("br", 0),
+                                     tol=1e-12).solve(A)
+        assert np.abs(res.eigenvalues - np.linalg.eigh(A)[0]).max() < 1e-8
+        assert res.trace.num_steps == 0  # no communication at all
+
+    def test_diagonal_converges_in_zero_sweeps(self):
+        res = ParallelOneSidedJacobi(get_ordering("degree4", 1)).solve(
+            np.diag(np.arange(1.0, 9.0)))
+        assert res.sweeps == 0
+
+    def test_sweep_counts_close_to_sequential(self, rng):
+        A = make_symmetric_test_matrix(32, rng)
+        seq = onesided_jacobi(A, tol=1e-10).sweeps
+        par = ParallelOneSidedJacobi(get_ordering("br", 2),
+                                     tol=1e-10).solve(A).sweeps
+        assert abs(par - seq) <= 2
+
+    def test_eigenvalues_only_mode(self, rng):
+        A = make_symmetric_test_matrix(16, rng)
+        res = ParallelOneSidedJacobi(get_ordering("br", 1), tol=1e-10
+                                     ).solve(A, compute_eigenvectors=False)
+        ref = np.sort(np.abs(np.linalg.eigh(A)[0]))
+        assert np.abs(res.eigenvalues - ref).max() < 1e-6
+
+
+class TestTraceAccounting:
+    def test_transition_count_per_sweep(self, rng):
+        d = 3
+        A = make_symmetric_test_matrix(32, rng)
+        res = ParallelOneSidedJacobi(get_ordering("br", d),
+                                     tol=1e-10).solve(A)
+        per_sweep = (1 << (d + 1)) - 1
+        assert res.trace.num_steps == per_sweep * res.sweeps
+
+    def test_costs_match_machine_model(self, rng):
+        d, m = 2, 16
+        machine = MachineParams(ts=7.0, tw=3.0)
+        A = make_symmetric_test_matrix(m, rng)
+        res = ParallelOneSidedJacobi(get_ordering("br", d), machine=machine,
+                                     tol=1e-10).solve(A)
+        M = 2 * (m // (1 << (d + 1))) * m  # block of A and of U
+        expected_each = machine.transition_cost(M)
+        assert all(r.cost == pytest.approx(expected_each)
+                   for r in res.trace.records)
+
+    def test_cost_by_kind_partition(self, rng):
+        A = make_symmetric_test_matrix(16, rng)
+        res = ParallelOneSidedJacobi(get_ordering("br", 2),
+                                     tol=1e-10).solve(A)
+        kinds = res.trace.cost_by_kind()
+        assert set(kinds) == {"exchange", "division", "last"}
+        assert sum(kinds.values()) == pytest.approx(res.trace.total_cost)
+
+    def test_cost_by_sweep(self, rng):
+        A = make_symmetric_test_matrix(16, rng)
+        res = ParallelOneSidedJacobi(get_ordering("br", 2),
+                                     tol=1e-10).solve(A)
+        by_sweep = res.trace.cost_by_sweep()
+        assert set(by_sweep) == set(range(res.sweeps))
+        assert sum(by_sweep.values()) == pytest.approx(res.trace.total_cost)
+
+    def test_rotation_work_counts_full_sweeps(self, rng):
+        m = 16
+        A = make_symmetric_test_matrix(m, rng)
+        res = ParallelOneSidedJacobi(get_ordering("br", 1),
+                                     tol=1e-10).solve(A)
+        pairs_per_sweep = m * (m - 1) // 2
+        assert res.stats.pairs_seen == pairs_per_sweep * res.sweeps
+
+
+class TestErrors:
+    def test_rejects_nonsymmetric(self):
+        with pytest.raises(SimulationError):
+            ParallelOneSidedJacobi(get_ordering("br", 1)).solve(
+                np.triu(np.ones((8, 8))))
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(SimulationError):
+            ParallelOneSidedJacobi(get_ordering("br", 1)).solve(
+                np.ones((4, 6)))
+
+    def test_max_sweeps_raises(self, rng):
+        A = make_symmetric_test_matrix(16, rng)
+        solver = ParallelOneSidedJacobi(get_ordering("br", 1), tol=1e-15,
+                                        max_sweeps=1)
+        with pytest.raises(ConvergenceError):
+            solver.solve(A)
+
+    def test_no_raise_flag(self, rng):
+        A = make_symmetric_test_matrix(16, rng)
+        solver = ParallelOneSidedJacobi(get_ordering("br", 1), tol=1e-15,
+                                        max_sweeps=1)
+        res = solver.solve(A, raise_on_no_convergence=False)
+        assert not res.converged
+
+    def test_invalid_max_sweeps(self):
+        with pytest.raises(ConvergenceError):
+            ParallelOneSidedJacobi(get_ordering("br", 1), max_sweeps=0)
+
+    def test_matrix_smaller_than_blocks(self):
+        with pytest.raises(Exception):
+            ParallelOneSidedJacobi(get_ordering("br", 3)).solve(np.eye(8))

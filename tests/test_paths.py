@@ -1,0 +1,162 @@
+"""Unit tests for :mod:`repro.hypercube.paths`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SequenceError
+from repro.hypercube import (
+    Hypercube,
+    enumerate_hamiltonian_sequences,
+    is_hamiltonian_path,
+    path_end,
+    path_nodes,
+    prefix_xor,
+    random_hamiltonian_sequence,
+    sequence_dimension,
+    validate_sequence,
+)
+
+
+class TestPrefixXor:
+    def test_empty(self):
+        assert prefix_xor([]).tolist() == [0]
+
+    def test_simple(self):
+        assert prefix_xor([0, 1, 0]).tolist() == [0, 1, 3, 2]
+
+    def test_rejects_negative_links(self):
+        with pytest.raises(SequenceError):
+            prefix_xor([0, -1])
+
+    def test_rejects_2d(self):
+        with pytest.raises(SequenceError):
+            prefix_xor(np.zeros((2, 2), dtype=np.int64))
+
+
+class TestPathNodes:
+    def test_start_translation(self):
+        seq = (0, 1, 0, 2, 0, 1, 0)
+        base = path_nodes(seq, 0)
+        shifted = path_nodes(seq, 5)
+        assert (shifted == (base ^ 5)).all()
+
+    def test_path_end(self):
+        # BR D_3 ends one dimension-2 hop away from the start
+        assert path_end((0, 1, 0, 2, 0, 1, 0), start=0) == 4
+
+    def test_nodes_are_walk(self):
+        cube = Hypercube(3)
+        nodes = path_nodes((0, 1, 0, 2, 0, 1, 0))
+        for a, b in zip(nodes, nodes[1:]):
+            assert cube.are_neighbors(int(a), int(b))
+
+
+class TestIsHamiltonianPath:
+    def test_gray_code_links_are_hamiltonian(self):
+        # Gray code flips the ruler bit: same link sequence as BR
+        for e in range(1, 8):
+            seq = [( (t & -t).bit_length() - 1) for t in range(1, 1 << e)]
+            assert is_hamiltonian_path(seq, e)
+
+    def test_wrong_length(self):
+        assert not is_hamiltonian_path([0, 1], 2)
+
+    def test_revisit_detected(self):
+        assert not is_hamiltonian_path([0, 0, 1], 2)
+
+    def test_alphabet_out_of_range(self):
+        assert not is_hamiltonian_path([0, 2, 0], 2)
+
+    def test_dim_inferred(self):
+        assert is_hamiltonian_path([0, 1, 0])
+        assert not is_hamiltonian_path([0, 1, 1])
+
+
+class TestValidateSequence:
+    def test_returns_tuple(self):
+        assert validate_sequence([0, 1, 0]) == (0, 1, 0)
+
+    def test_length_error_message(self):
+        with pytest.raises(SequenceError, match="length"):
+            validate_sequence([0, 1], 2)
+
+    def test_alphabet_error_message(self):
+        with pytest.raises(SequenceError, match="link identifiers"):
+            validate_sequence([0, 5, 0], 2)
+
+    def test_revisit_error_names_node(self):
+        with pytest.raises(SequenceError, match="revisits node"):
+            validate_sequence([0, 0, 1], 2)
+
+
+class TestSequenceDimension:
+    def test_basic(self):
+        assert sequence_dimension([0, 1, 0]) == 2
+        assert sequence_dimension([3]) == 4
+        assert sequence_dimension([]) == 0
+
+
+class TestEnumeration:
+    def test_one_cube(self):
+        assert list(enumerate_hamiltonian_sequences(1)) == [(0,)]
+
+    def test_two_cube_count(self):
+        seqs = list(enumerate_hamiltonian_sequences(2))
+        # 2-cube: paths from a fixed corner: 010, 101 (and 01/10 partials
+        # rejected) -> exactly 2 link sequences
+        assert sorted(seqs) == [(0, 1, 0), (1, 0, 1)]
+
+    def test_three_cube_all_valid_and_distinct(self):
+        seqs = list(enumerate_hamiltonian_sequences(3))
+        assert len(seqs) == len(set(seqs))
+        assert all(is_hamiltonian_path(s, 3) for s in seqs)
+        # every sequence uses all three dimensions
+        assert all(set(s) == {0, 1, 2} for s in seqs)
+
+    def test_limit(self):
+        seqs = list(enumerate_hamiltonian_sequences(4, limit=10))
+        assert len(seqs) == 10
+
+    def test_count_matches_bruteforce_networkx(self):
+        nx = pytest.importorskip("networkx")
+        g = nx.hypercube_graph(3)
+
+        def to_int(t):
+            return sum(b << i for i, b in enumerate(t))
+
+        count = 0
+        nodes = list(g.nodes())
+        start = [n for n in nodes if to_int(n) == 0][0]
+        # count Hamiltonian paths from node 0 by DFS over networkx graph
+        def dfs(path, visited):
+            nonlocal count
+            if len(path) == 8:
+                count += 1
+                return
+            for nbr in g.neighbors(path[-1]):
+                if nbr not in visited:
+                    visited.add(nbr)
+                    path.append(nbr)
+                    dfs(path, visited)
+                    path.pop()
+                    visited.remove(nbr)
+
+        dfs([start], {start})
+        assert count == len(list(enumerate_hamiltonian_sequences(3)))
+
+
+class TestRandomSequences:
+    def test_valid_for_various_dims(self, rng):
+        for dim in (1, 2, 3, 4, 5):
+            seq = random_hamiltonian_sequence(dim, rng)
+            assert is_hamiltonian_path(seq, dim)
+
+    def test_zero_cube(self):
+        assert random_hamiltonian_sequence(0) == ()
+
+    def test_deterministic_with_seed(self):
+        a = random_hamiltonian_sequence(4, np.random.default_rng(5))
+        b = random_hamiltonian_sequence(4, np.random.default_rng(5))
+        assert a == b

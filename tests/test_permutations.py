@@ -1,0 +1,119 @@
+"""Unit tests for :mod:`repro.hypercube.permutations`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SequenceError
+from repro.hypercube import LinkPermutation, sweep_rotation
+
+
+class TestConstruction:
+    def test_identity(self):
+        p = LinkPermutation.identity(4)
+        assert p.is_identity()
+        assert p.mapping == (0, 1, 2, 3)
+
+    def test_invalid_mapping_rejected(self):
+        with pytest.raises(SequenceError):
+            LinkPermutation((0, 0, 1))
+
+    def test_from_transpositions(self):
+        p = LinkPermutation.from_transpositions(4, [(0, 3), (1, 2)])
+        assert p.mapping == (3, 2, 1, 0)
+
+    def test_from_transpositions_rejects_overlap(self):
+        with pytest.raises(SequenceError):
+            LinkPermutation.from_transpositions(4, [(0, 1), (1, 2)])
+
+    def test_from_transpositions_rejects_out_of_range(self):
+        with pytest.raises(SequenceError):
+            LinkPermutation.from_transpositions(3, [(0, 3)])
+
+    def test_reversal(self):
+        assert LinkPermutation.reversal(4).mapping == (3, 2, 1, 0)
+
+    def test_rotation(self):
+        assert LinkPermutation.rotation(4, 1).mapping == (1, 2, 3, 0)
+        assert LinkPermutation.rotation(4, -1).mapping == (3, 0, 1, 2)
+
+
+class TestGroupOperations:
+    def test_inverse(self):
+        p = LinkPermutation((2, 0, 1))
+        assert p.compose(p.inverse()).is_identity()
+        assert p.inverse().compose(p).is_identity()
+
+    def test_compose_order(self):
+        p = LinkPermutation((1, 2, 0))  # x -> x+1 mod 3
+        q = LinkPermutation((2, 1, 0))  # reversal
+        # (p after q)(0) = p(q(0)) = p(2) = 0
+        assert p.compose(q)(0) == 0
+
+    def test_compose_size_mismatch(self):
+        with pytest.raises(SequenceError):
+            LinkPermutation.identity(3).compose(LinkPermutation.identity(4))
+
+    def test_conjugate_matches_paper_compounding(self):
+        # Paper §3.2.1 example: tau = (0,1); pi = (0<->3)(1<->2);
+        # the compounded permutation transposes 3 and 2.
+        tau = LinkPermutation.from_transpositions(4, [(0, 1)])
+        pi = LinkPermutation.from_transpositions(4, [(0, 3), (1, 2)])
+        conj = tau.conjugate(pi)
+        assert conj.mapping == (0, 1, 3, 2)
+
+    def test_extended(self):
+        p = LinkPermutation((1, 0)).extended(4)
+        assert p.mapping == (1, 0, 2, 3)
+
+    def test_extended_cannot_shrink(self):
+        with pytest.raises(SequenceError):
+            LinkPermutation.identity(4).extended(2)
+
+
+class TestApply:
+    def test_apply_sequence(self):
+        p = LinkPermutation.from_transpositions(2, [(0, 1)])
+        assert p.apply((0, 1, 0)) == (1, 0, 1)
+
+    def test_apply_empty(self):
+        assert LinkPermutation.identity(3).apply(()) == ()
+
+    def test_apply_out_of_range(self):
+        with pytest.raises(SequenceError):
+            LinkPermutation.identity(2).apply((0, 2))
+
+    def test_apply_array_matches_apply(self):
+        import numpy as np
+
+        p = LinkPermutation((2, 0, 1))
+        seq = (0, 1, 2, 1, 0)
+        assert tuple(p.apply_array(np.array(seq))) == p.apply(seq)
+
+
+class TestSweepRotation:
+    def test_sigma_zero_is_identity(self):
+        assert sweep_rotation(5, 0).is_identity()
+
+    def test_recurrence(self):
+        # sigma_s(i) = (sigma_{s-1}(i) - 1) mod d
+        d = 6
+        for s in range(1, 2 * d):
+            prev = sweep_rotation(d, s - 1)
+            cur = sweep_rotation(d, s)
+            for i in range(d):
+                assert cur(i) == (prev(i) - 1) % d
+
+    def test_period_d(self):
+        # "After d sweeps, the links are used again in the order described
+        # for the first sweep."
+        d = 7
+        assert sweep_rotation(d, d).is_identity()
+        for s in range(1, d):
+            assert not sweep_rotation(d, s).is_identity()
+
+    def test_invalid_args(self):
+        with pytest.raises(SequenceError):
+            sweep_rotation(0, 0)
+        with pytest.raises(SequenceError):
+            sweep_rotation(3, -1)

@@ -1,0 +1,101 @@
+"""Tests for the packetised pipelined executor (the multi-port algorithm)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ccube import MachineParams
+from repro.errors import PipeliningError
+from repro.jacobi import ParallelOneSidedJacobi, make_symmetric_test_matrix
+from repro.orderings import get_ordering
+from repro.simulator import PipelinedParallelJacobi
+
+
+class TestNumericalCorrectness:
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    def test_matches_eigh(self, ordering_name, d, rng):
+        A = make_symmetric_test_matrix(32, rng)
+        solver = PipelinedParallelJacobi(get_ordering(ordering_name, d),
+                                         tol=1e-11)
+        res = solver.solve(A)
+        assert np.abs(res.eigenvalues - np.linalg.eigh(A)[0]).max() < 1e-7
+        R = A @ res.eigenvectors - res.eigenvectors * res.eigenvalues
+        assert np.abs(R).max() < 1e-7
+
+    def test_convergence_close_to_unpipelined(self, rng):
+        # pipelining reorders the same once-per-sweep rotations; sweep
+        # counts stay within one of the plain solver's
+        A = make_symmetric_test_matrix(32, rng)
+        o = get_ordering("degree4", 2)
+        plain = ParallelOneSidedJacobi(o, tol=1e-10).solve(A).sweeps
+        piped = PipelinedParallelJacobi(o, tol=1e-10).solve(A).sweeps
+        assert abs(plain - piped) <= 1
+
+    def test_fixed_q_policy(self, rng):
+        A = make_symmetric_test_matrix(32, rng)
+        solver = PipelinedParallelJacobi(get_ordering("br", 2), q_policy=2,
+                                         tol=1e-10)
+        res = solver.solve(A)
+        assert np.abs(res.eigenvalues - np.linalg.eigh(A)[0]).max() < 1e-7
+
+    def test_dict_q_policy(self, rng):
+        A = make_symmetric_test_matrix(32, rng)
+        solver = PipelinedParallelJacobi(get_ordering("br", 2),
+                                         q_policy={2: 4, 1: 1}, tol=1e-10)
+        res = solver.solve(A)
+        assert np.abs(res.eigenvalues - np.linalg.eigh(A)[0]).max() < 1e-7
+
+
+class TestMultiPortBehaviour:
+    def test_uses_multiple_links(self, rng):
+        A = make_symmetric_test_matrix(64, rng)
+        res = PipelinedParallelJacobi(get_ordering("degree4", 2),
+                                      q_policy=4, tol=1e-9).solve(A)
+        assert res.trace.max_links_in_step() >= 2
+
+    def test_reduces_simulated_comm_cost(self, rng):
+        # transmission-dominated machine: pipelining must win
+        machine = MachineParams(ts=1.0, tw=100.0)
+        A = make_symmetric_test_matrix(64, rng)
+        o = get_ordering("degree4", 2)
+        plain = ParallelOneSidedJacobi(o, machine=machine, tol=1e-9).solve(A)
+        piped = PipelinedParallelJacobi(o, machine=machine, tol=1e-9).solve(A)
+        assert piped.trace.total_cost < plain.trace.total_cost
+
+    def test_stage_records_present(self, rng):
+        A = make_symmetric_test_matrix(32, rng)
+        res = PipelinedParallelJacobi(get_ordering("br", 2), q_policy=4,
+                                      tol=1e-9).solve(A)
+        kinds = res.trace.cost_by_kind()
+        assert "stage" in kinds and "division" in kinds and "last" in kinds
+
+    def test_q1_equivalent_comm_cost(self, rng):
+        # with Q=1 every stage is a single full-size message: total cost
+        # must equal the plain solver's
+        A = make_symmetric_test_matrix(32, rng)
+        o = get_ordering("br", 2)
+        plain = ParallelOneSidedJacobi(o, tol=1e-9).solve(A)
+        piped = PipelinedParallelJacobi(o, q_policy=1, tol=1e-9).solve(A)
+        assert piped.trace.total_cost == pytest.approx(
+            plain.trace.total_cost)
+        assert piped.sweeps == plain.sweeps
+
+
+class TestErrors:
+    def test_requires_balanced_blocks(self, rng):
+        A = make_symmetric_test_matrix(18, rng)
+        with pytest.raises(PipeliningError):
+            PipelinedParallelJacobi(get_ordering("br", 2)).solve(A)
+
+    def test_bad_policy_string(self):
+        with pytest.raises(PipeliningError):
+            PipelinedParallelJacobi(get_ordering("br", 2),
+                                    q_policy="fastest")
+
+    def test_q_capped_at_block_size(self, rng):
+        # requesting a huge fixed Q must silently cap at columns per block
+        A = make_symmetric_test_matrix(16, rng)
+        res = PipelinedParallelJacobi(get_ordering("br", 1), q_policy=999,
+                                      tol=1e-9).solve(A)
+        assert np.abs(res.eigenvalues - np.linalg.eigh(A)[0]).max() < 1e-7

@@ -1,0 +1,128 @@
+"""Unit tests for the communication-pipelining schedule (§2.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ccube import CCCubeAlgorithm, PipelinedSchedule
+from repro.errors import PipeliningError, SequenceError
+
+
+def make_alg(links=(0, 1, 0, 2, 0, 1, 0), M=30.0):
+    return CCCubeAlgorithm(tuple(links), message_elems=M)
+
+
+class TestCCCubeAlgorithm:
+    def test_properties(self):
+        alg = make_alg()
+        assert alg.K == 7
+        assert alg.dimension_span == 3
+        assert alg.links_array().tolist() == [0, 1, 0, 2, 0, 1, 0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(SequenceError):
+            CCCubeAlgorithm((), message_elems=1.0)
+
+    def test_bad_message_size(self):
+        with pytest.raises(PipeliningError):
+            CCCubeAlgorithm((0,), message_elems=0.0)
+
+    def test_negative_comp_time(self):
+        with pytest.raises(PipeliningError):
+            CCCubeAlgorithm((0,), message_elems=1.0, comp_time=-1.0)
+
+    def test_for_exchange_phase_message_size(self):
+        alg = CCCubeAlgorithm.for_exchange_phase((0, 1, 0), m=64, d=2)
+        # one block of A and U: 2 * 64 * (64/8) = 1024 = 64*64/4
+        assert alg.message_elems == 1024.0
+
+    def test_for_exchange_phase_needs_enough_columns(self):
+        with pytest.raises(PipeliningError):
+            CCCubeAlgorithm.for_exchange_phase((0,), m=4, d=2)
+
+
+class TestPaperExampleShallow:
+    """K=7, links 0102010, Q=3 — the worked example of §2.4."""
+
+    def test_stage_links(self):
+        sched = PipelinedSchedule(make_alg(), 3)
+        got = [sched.stage_links(s) for s in range(sched.num_stages)]
+        assert got == [(0,), (0, 1),
+                       (0, 1, 0), (1, 0, 2), (0, 2, 0), (2, 0, 1),
+                       (0, 1, 0),
+                       (1, 0), (0,)]
+
+    def test_phase_partition(self):
+        sched = PipelinedSchedule(make_alg(), 3)
+        assert list(sched.prologue_stages) == [0, 1]
+        assert list(sched.kernel_stages) == [2, 3, 4, 5, 6]
+        assert list(sched.epilogue_stages) == [7, 8]
+        assert not sched.is_deep
+
+    def test_packet_conservation(self):
+        sched = PipelinedSchedule(make_alg(), 3)
+        assert sched.total_packets() == 7 * 3
+        sched.validate()
+
+
+class TestPaperExampleDeep:
+    """K=3, links 010, Q=100 — the deep example of §2.4."""
+
+    def test_structure(self):
+        sched = PipelinedSchedule(make_alg((0, 1, 0)), 100)
+        assert sched.is_deep
+        assert len(sched.prologue_stages) == 2   # K-1
+        assert len(sched.epilogue_stages) == 2   # K-1
+        assert len(sched.kernel_stages) == 98    # Q-K+1
+
+    def test_stage_links(self):
+        sched = PipelinedSchedule(make_alg((0, 1, 0)), 100)
+        assert sched.stage_links(0) == (0,)
+        assert sched.stage_links(1) == (0, 1)
+        for s in sched.kernel_stages:
+            assert sched.stage_links(s) == (0, 1, 0)
+        assert sched.stage_links(sched.num_stages - 2) == (1, 0)
+        assert sched.stage_links(sched.num_stages - 1) == (0,)
+
+    def test_conservation(self):
+        sched = PipelinedSchedule(make_alg((0, 1, 0)), 100)
+        assert sched.total_packets() == 300
+        sched.validate()
+
+
+class TestGeneralProperties:
+    @pytest.mark.parametrize("K,Q", [(1, 1), (1, 5), (7, 1), (7, 7),
+                                     (7, 8), (15, 4), (31, 64), (5, 3)])
+    def test_conservation_grid(self, K, Q, rng):
+        links = tuple(int(x) for x in rng.integers(0, 4, size=K))
+        sched = PipelinedSchedule(make_alg(links), Q)
+        assert sched.num_stages == K + Q - 1
+        sched.validate()
+
+    def test_q1_degenerates_to_original(self):
+        sched = PipelinedSchedule(make_alg(), 1)
+        assert [sched.stage_links(s) for s in range(sched.num_stages)] == \
+            [(l,) for l in make_alg().links]
+        assert sched.packet_elems == 30.0
+
+    def test_packet_elems(self):
+        assert PipelinedSchedule(make_alg(M=60.0), 4).packet_elems == 15.0
+
+    def test_invalid_q(self):
+        with pytest.raises(PipeliningError):
+            PipelinedSchedule(make_alg(), 0)
+
+    def test_stage_out_of_range(self):
+        sched = PipelinedSchedule(make_alg(), 2)
+        with pytest.raises(PipeliningError):
+            sched.stage(sched.num_stages)
+
+    def test_stage_link_multiset(self):
+        sched = PipelinedSchedule(make_alg(), 3)
+        links, counts = sched.stage_link_multiset(2)  # window (0,1,0)
+        assert links.tolist() == [0, 1]
+        assert counts.tolist() == [2, 1]
+
+    def test_describe(self):
+        assert "shallow" in PipelinedSchedule(make_alg(), 3).describe()
+        assert "deep" in PipelinedSchedule(make_alg((0, 1, 0)), 9).describe()

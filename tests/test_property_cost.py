@@ -1,0 +1,75 @@
+"""Property-based tests (hypothesis) for the cost model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ccube import (
+    IdealPhaseCostModel,
+    MachineParams,
+    SequencePhaseCostModel,
+)
+from repro.hypercube import random_hamiltonian_sequence
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+dims = st.integers(min_value=2, max_value=5)
+machines = st.builds(
+    MachineParams,
+    ts=st.floats(0.0, 1e4),
+    tw=st.floats(0.001, 1e3),
+    ports=st.one_of(st.none(), st.integers(1, 8)),
+)
+
+
+@given(dims, seeds, st.one_of(st.none(), st.integers(1, 8)),
+       st.integers(1, 64))
+@settings(max_examples=60, deadline=None)
+def test_ideal_transmission_is_a_lower_bound(dim, seed, ports, Q):
+    """No Hamiltonian sequence can beat the ideal balanced model's
+    *transmission* component at any pipelining degree (the busiest link of
+    a length-l window carries at least ceil(l/e) packets) — the premise of
+    the Figure-2 lower-bound curve.  Start-ups are excluded: an unbalanced
+    window pays fewer of them (see IdealPhaseCostModel's docstring)."""
+    machine = MachineParams(ts=0.0, tw=3.0, ports=ports)
+    seq = random_hamiltonian_sequence(dim, np.random.default_rng(seed))
+    M = 4096.0
+    real = SequencePhaseCostModel(seq, machine, M)
+    ideal = IdealPhaseCostModel(dim, machine, M)
+    Q = min(Q, real.K * 3)
+    assert ideal.cost(Q) <= real.cost(Q) * (1 + 1e-12)
+
+
+@given(dims, seeds, machines)
+@settings(max_examples=60, deadline=None)
+def test_q1_equals_unpipelined(dim, seed, machine):
+    """Degree-1 pipelining is exactly the original CC-cube algorithm."""
+    seq = random_hamiltonian_sequence(dim, np.random.default_rng(seed))
+    model = SequencePhaseCostModel(seq, machine, 1000.0)
+    assert model.cost(1) == pytest.approx(model.unpipelined_cost(),
+                                          rel=1e-12)
+
+
+@given(dims, seeds)
+@settings(max_examples=30, deadline=None)
+def test_optimal_never_worse_than_q1(dim, seed):
+    """The optimiser may always fall back to Q=1, so its result can never
+    exceed the un-pipelined cost."""
+    seq = random_hamiltonian_sequence(dim, np.random.default_rng(seed))
+    model = SequencePhaseCostModel(seq, MachineParams(), 4096.0, q_max=256)
+    assert model.optimal().cost <= model.unpipelined_cost() * (1 + 1e-12)
+
+
+@given(dims, seeds, st.integers(1, 100))
+@settings(max_examples=40, deadline=None)
+def test_one_port_cost_never_below_combined_volume(dim, seed, Q):
+    """On a one-port machine each stage moves its whole window serially,
+    so the total transmission component can never drop below the volume
+    lower bound K * M * Tw."""
+    seq = random_hamiltonian_sequence(dim, np.random.default_rng(seed))
+    machine = MachineParams(ts=0.0, tw=1.0, ports=1)
+    M = 512.0
+    model = SequencePhaseCostModel(seq, machine, M)
+    assert model.cost(Q) >= len(seq) * M * machine.tw - 1e-6

@@ -1,0 +1,121 @@
+"""Property-based tests (hypothesis) for the hypercube substrate.
+
+These machine-check the structural facts the paper's constructions rest
+on: prefix-XOR characterisation of Hamiltonian link sequences, start-node
+independence, and Property 1 (closure of hamiltonicity under permutations
+applied to Hamiltonian subsequences).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypercube import (
+    LinkPermutation,
+    is_hamiltonian_path,
+    path_nodes,
+    prefix_xor,
+    random_hamiltonian_sequence,
+)
+from repro.orderings import br_sequence
+
+
+dims = st.integers(min_value=1, max_value=5)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@st.composite
+def hamiltonian_sequences(draw):
+    """A random valid Hamiltonian link sequence of a small cube."""
+    dim = draw(dims)
+    seed = draw(seeds)
+    return dim, random_hamiltonian_sequence(dim, np.random.default_rng(seed))
+
+
+@given(hamiltonian_sequences())
+def test_prefix_xor_characterisation(dim_seq):
+    """A sequence is Hamiltonian iff its prefix XORs are pairwise distinct."""
+    dim, seq = dim_seq
+    nodes = prefix_xor(seq)
+    assert len(np.unique(nodes)) == len(nodes) == (1 << dim)
+    assert is_hamiltonian_path(seq, dim)
+
+
+@given(hamiltonian_sequences(), st.integers(min_value=0, max_value=31))
+def test_start_node_independence(dim_seq, start):
+    """The trajectory from any start is the XOR-translate of the base one,
+    so hamiltonicity does not depend on the start node."""
+    dim, seq = dim_seq
+    start %= 1 << dim
+    nodes = path_nodes(seq, start)
+    assert len(set(int(x) for x in nodes)) == (1 << dim)
+
+
+@given(hamiltonian_sequences(), seeds)
+def test_whole_sequence_permutation_preserves_hamiltonicity(dim_seq, seed):
+    """Relabelling every link of a Hamiltonian sequence by any permutation
+    yields a Hamiltonian sequence (cube isomorphism)."""
+    dim, seq = dim_seq
+    rng = np.random.default_rng(seed)
+    perm = LinkPermutation(tuple(int(x) for x in rng.permutation(dim)))
+    assert is_hamiltonian_path(perm.apply(seq), dim)
+
+
+@given(st.integers(min_value=2, max_value=6), seeds)
+@settings(max_examples=40)
+def test_property1_on_br_halves(e, seed):
+    """Property 1 as used by permuted-BR: permuting the links of the
+    *second half* of D_e^BR (a Hamiltonian path of an (e-1)-subcube, links
+    [0, e-2]) keeps the whole sequence Hamiltonian."""
+    seq = list(br_sequence(e))
+    half = (1 << (e - 1)) - 1
+    rng = np.random.default_rng(seed)
+    sub_perm = [int(x) for x in rng.permutation(e - 1)] + [e - 1]
+    perm = LinkPermutation(tuple(sub_perm))
+    seq[half + 1:] = perm.apply(tuple(seq[half + 1:]))
+    assert is_hamiltonian_path(seq, e)
+
+
+@given(st.integers(min_value=2, max_value=6), seeds, seeds)
+@settings(max_examples=40)
+def test_property1_nested_subsequence(e, seed1, seed2):
+    """Permuting a deeper BR subsequence (a Hamiltonian path of an
+    (e-2)-subcube) also preserves hamiltonicity, including after an outer
+    permutation was applied — the exact structure of the permuted-BR
+    transformation cascade."""
+    if e < 3:
+        return
+    seq = list(br_sequence(e))
+    half = (1 << (e - 1)) - 1
+    quarter = (1 << (e - 2)) - 1
+    rng1 = np.random.default_rng(seed1)
+    rng2 = np.random.default_rng(seed2)
+    outer = LinkPermutation(tuple(int(x) for x in rng1.permutation(e - 1))
+                            + (e - 1,))
+    seq[half + 1:] = outer.apply(tuple(seq[half + 1:]))
+    # second (e-2)-subsequence of the *first* half: positions
+    # [quarter+1, half)
+    inner = LinkPermutation(tuple(int(x) for x in rng2.permutation(e - 2))
+                            + (e - 2, e - 1))
+    seq[quarter + 1:half] = inner.apply(tuple(seq[quarter + 1:half]))
+    assert is_hamiltonian_path(seq, e)
+
+
+@given(hamiltonian_sequences())
+def test_every_link_appears(dim_seq):
+    """A Hamiltonian sequence must use every dimension at least once."""
+    dim, seq = dim_seq
+    assert set(seq) == set(range(dim))
+
+
+@given(hamiltonian_sequences())
+def test_length_and_count_identity(dim_seq):
+    """A Hamiltonian sequence of a dim-cube has exactly 2**dim - 1 links,
+    and its per-link counts account for every transition."""
+    dim, seq = dim_seq
+    assert len(seq) == (1 << dim) - 1
+    counts = np.bincount(np.asarray(seq), minlength=dim)
+    assert int(counts.sum()) == (1 << dim) - 1
+    assert (counts >= 1).all()

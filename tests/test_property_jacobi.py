@@ -1,0 +1,88 @@
+"""Property-based tests (hypothesis) for the numerical core."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jacobi import (
+    make_symmetric_test_matrix,
+    onesided_jacobi,
+    rotation_angles,
+)
+from repro.jacobi.blocks import cross_block_rounds, round_robin_rounds
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@given(st.floats(0.1, 100.0), st.floats(0.1, 100.0),
+       st.floats(-50.0, 50.0))
+def test_rotation_zeroes_cross_term(a, b, g):
+    """The rotation formula must always zero the implicit Gram cross term:
+    c*s*(a - b) + (c^2 - s^2)*g == 0."""
+    c, s, applied = rotation_angles(np.array([a]), np.array([b]),
+                                    np.array([g]))
+    if applied[0]:
+        residual = c[0] * s[0] * (a - b) + (c[0] ** 2 - s[0] ** 2) * g
+        scale = max(abs(a), abs(b), abs(g))
+        assert abs(residual) < 1e-10 * scale
+
+
+@given(st.floats(0.1, 100.0), st.floats(0.1, 100.0),
+       st.floats(-50.0, 50.0))
+def test_rotation_is_unit_norm(a, b, g):
+    """(c, s) always lies on the unit circle."""
+    c, s, _ = rotation_angles(np.array([a]), np.array([b]), np.array([g]))
+    assert abs(c[0] ** 2 + s[0] ** 2 - 1.0) < 1e-12
+
+
+@given(st.integers(2, 24), seeds)
+@settings(max_examples=25, deadline=None)
+def test_eigensolve_random_matrices(m, seed):
+    """One-sided Jacobi matches eigh for arbitrary uniform test matrices."""
+    A = make_symmetric_test_matrix(m, seed)
+    res = onesided_jacobi(A, tol=1e-11, max_sweeps=60)
+    ref = np.linalg.eigh(A)[0]
+    scale = max(1.0, float(np.abs(ref).max()))
+    assert np.abs(res.eigenvalues - ref).max() < 1e-7 * scale
+
+
+@given(st.integers(0, 20))
+def test_round_robin_exact_coverage(n):
+    """The circle method pairs every couple exactly once, disjointly."""
+    seen = set()
+    for left, right in round_robin_rounds(n):
+        used = np.concatenate([left, right])
+        assert len(np.unique(used)) == len(used)
+        for a, b in zip(left, right):
+            key = (min(a, b), max(a, b))
+            assert key not in seen
+            seen.add(key)
+    assert len(seen) == n * (n - 1) // 2
+
+
+@given(st.integers(1, 12), st.integers(1, 12))
+def test_cross_rounds_exact_coverage(b1, b2):
+    """Cross-block rounds cover the full b1 x b2 grid exactly once."""
+    seen = set()
+    for left, right in cross_block_rounds(b1, b2):
+        assert len(np.unique(left)) == len(left)
+        assert len(np.unique(right)) == len(right)
+        for a, b in zip(left, right):
+            assert (a, b) not in seen
+            seen.add((a, b))
+    assert len(seen) == b1 * b2
+
+
+@given(st.integers(2, 16), seeds)
+@settings(max_examples=20, deadline=None)
+def test_frobenius_invariance_under_sweeps(m, seed):
+    """Rotations are orthogonal: column-norm energy is preserved through
+    an entire solve (trace of the Gram matrix is invariant)."""
+    A0 = make_symmetric_test_matrix(m, seed)
+    res = onesided_jacobi(A0, tol=1e-10, max_sweeps=60)
+    energy0 = float(np.linalg.norm(A0))
+    # sum of squared eigenvalues == squared Frobenius norm of A0
+    energy1 = float(np.sqrt(np.sum(res.eigenvalues ** 2)))
+    assert abs(energy1 - energy0) < 1e-8 * max(1.0, energy0)

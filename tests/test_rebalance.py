@@ -1,0 +1,71 @@
+"""Unit tests for the frequency-greedy rebalanced-BR variant."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OrderingError
+from repro.hypercube import is_hamiltonian_path
+from repro.orderings import (
+    alpha,
+    alpha_lower_bound,
+    check_pair_coverage,
+    get_ordering,
+    permuted_br_sequence_array,
+    rebalanced_br_sequence,
+    rebalanced_br_sequence_array,
+    registered_orderings,
+)
+
+
+class TestValidity:
+    def test_hamiltonian_for_all_practical_e(self):
+        for e in range(1, 15):
+            assert is_hamiltonian_path(rebalanced_br_sequence_array(e), e)
+
+    def test_registered(self):
+        assert "rebalanced-br" in registered_orderings()
+        get_ordering("rebalanced-br", 5).validate()
+
+    def test_sweep_coverage(self):
+        for d in (2, 3, 4):
+            report = check_pair_coverage(
+                get_ordering("rebalanced-br", d).sweep_schedule())
+            assert report.ok
+
+    def test_invalid_e(self):
+        with pytest.raises(OrderingError):
+            rebalanced_br_sequence_array(0)
+
+    def test_tuple_matches_array(self):
+        for e in (3, 6, 9):
+            assert rebalanced_br_sequence(e) == tuple(
+                int(x) for x in rebalanced_br_sequence_array(e))
+
+
+class TestQuality:
+    def test_far_below_br(self):
+        # BR's alpha is 2**(e-1); the greedy rebalance must land well
+        # under half of that once e is big enough for several cascades
+        for e in range(7, 14):
+            assert alpha(rebalanced_br_sequence_array(e)) < (1 << (e - 2))
+
+    def test_wins_at_e8(self):
+        # the ablation's headline: frequency pairing beats the index
+        # formula at e = 8 (45 vs 56; the paper prints 43)
+        ours = alpha(rebalanced_br_sequence_array(8))
+        index = alpha(permuted_br_sequence_array(8))
+        assert ours < index
+        assert ours == 45
+
+    def test_loses_at_power_cases(self):
+        # at e - 1 a power of two the index formula is the paper's exact
+        # construction and the greedy variant is worse
+        for e in (9, 17):
+            assert alpha(rebalanced_br_sequence_array(e)) > \
+                alpha(permuted_br_sequence_array(e))
+
+    def test_within_3x_lower_bound(self):
+        for e in range(5, 15):
+            assert alpha(rebalanced_br_sequence_array(e)) <= \
+                3 * alpha_lower_bound(e)

@@ -1,0 +1,46 @@
+"""Unit tests for the ASCII report renderers."""
+
+from __future__ import annotations
+
+from repro.analysis import render_ascii_chart, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        text = render_table(["a", "long_header"], [[1, 2.5], [33, 4.125]],
+                            title="My Table")
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert lines[1] == "=" * len("My Table")
+        # all rows same width
+        widths = {len(l) for l in lines[2:]}
+        assert len(widths) == 1
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [[1.23456]], float_fmt="{:.3f}")
+        assert "1.235" in text
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+
+class TestRenderChart:
+    def test_markers_and_legend(self):
+        text = render_ascii_chart([1, 2, 3],
+                                  {"up": [0.1, 0.5, 0.9],
+                                   "down": [0.9, 0.5, 0.1]},
+                                  title="t", y_max=1.0)
+        assert "* = up" in text and "o = down" in text
+        assert text.splitlines()[0] == "t"
+
+    def test_none_values_skipped(self):
+        text = render_ascii_chart([1, 2], {"s": [0.5, None]}, y_max=1.0)
+        assert text.count("*") == 1 + 1  # one point + legend marker
+
+    def test_empty_x(self):
+        assert render_ascii_chart([], {"s": []}, title="empty") == "empty"
+
+    def test_auto_ymax(self):
+        text = render_ascii_chart([0, 1], {"s": [10.0, 20.0]})
+        assert "21.000" in text or "20" in text

@@ -1,0 +1,96 @@
+"""Unit tests for the one-sided Jacobi SVD (sequential and parallel)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError, SimulationError
+from repro.jacobi import onesided_svd, parallel_svd
+from repro.orderings import get_ordering
+
+
+class TestSequentialSvd:
+    @pytest.mark.parametrize("shape", [(8, 8), (20, 8), (33, 17)])
+    def test_singular_values_match_lapack(self, shape, rng):
+        A = rng.normal(size=shape)
+        res = onesided_svd(A, tol=1e-12)
+        ref = np.linalg.svd(A, compute_uv=False)
+        assert np.abs(res.S - ref).max() < 1e-8
+        assert res.converged
+
+    def test_reconstruction(self, rng):
+        A = rng.normal(size=(16, 10))
+        res = onesided_svd(A, tol=1e-12)
+        assert np.abs(res.reconstruct() - A).max() < 1e-10
+
+    def test_factor_orthogonality(self, rng):
+        A = rng.normal(size=(20, 8))
+        res = onesided_svd(A, tol=1e-12)
+        assert np.abs(res.U.T @ res.U - np.eye(8)).max() < 1e-10
+        assert np.abs(res.Vt @ res.Vt.T - np.eye(8)).max() < 1e-10
+
+    def test_singular_values_descending(self, rng):
+        res = onesided_svd(rng.normal(size=(15, 9)), tol=1e-11)
+        assert np.all(np.diff(res.S) <= 1e-12)
+
+    def test_rank_deficient(self, rng):
+        base = rng.normal(size=(12, 3))
+        A = base @ rng.normal(size=(3, 6))  # rank 3 in a 12x6 matrix
+        res = onesided_svd(A, tol=1e-12)
+        assert np.abs(res.S[3:]).max() < 1e-10
+        # U still orthonormal despite zero singular values
+        assert np.abs(res.U.T @ res.U - np.eye(6)).max() < 1e-8
+        assert np.abs(res.reconstruct() - A).max() < 1e-9
+
+    def test_diagonal_case(self):
+        A = np.vstack([np.diag([3.0, 2.0]), np.zeros((1, 2))])
+        res = onesided_svd(A)
+        assert res.S.tolist() == [3.0, 2.0]
+        assert res.sweeps == 0
+
+    def test_rejects_wide(self, rng):
+        with pytest.raises(SimulationError, match="n >= m"):
+            onesided_svd(rng.normal(size=(4, 8)))
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(SimulationError):
+            onesided_svd(np.zeros(5))
+
+    def test_max_sweeps(self, rng):
+        A = rng.normal(size=(16, 12))
+        with pytest.raises(ConvergenceError):
+            onesided_svd(A, tol=1e-15, max_sweeps=1)
+
+
+class TestParallelSvd:
+    @pytest.mark.parametrize("d", [1, 2])
+    def test_matches_lapack(self, ordering_name, d, rng):
+        A = rng.normal(size=(24, 16))
+        res = parallel_svd(A, get_ordering(ordering_name, d), tol=1e-12)
+        ref = np.linalg.svd(A, compute_uv=False)
+        assert np.abs(res.S - ref).max() < 1e-8
+
+    def test_square_case(self, rng):
+        A = rng.normal(size=(16, 16))
+        res = parallel_svd(A, get_ordering("br", 2), tol=1e-12)
+        assert np.abs(res.S - np.linalg.svd(A, compute_uv=False)).max() \
+            < 1e-8
+
+    def test_trace_prices_tall_blocks(self, rng):
+        # message = b * (n + m) elements per transition for an n x m input
+        n, m, d = 40, 16, 2
+        A = rng.normal(size=(n, m))
+        res = parallel_svd(A, get_ordering("br", d), tol=1e-10)
+        b = m // (1 << (d + 1))
+        expected = res.trace.machine.transition_cost(b * (n + m))
+        assert res.trace.records[0].cost == pytest.approx(expected)
+
+    def test_reconstruction(self, rng):
+        A = rng.normal(size=(20, 16))
+        res = parallel_svd(A, get_ordering("degree4", 1), tol=1e-12)
+        assert np.abs(res.reconstruct() - A).max() < 1e-9
+
+    def test_rejects_wide(self, rng):
+        with pytest.raises(SimulationError):
+            parallel_svd(rng.normal(size=(8, 16)), get_ordering("br", 1))

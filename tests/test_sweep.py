@@ -1,0 +1,183 @@
+"""Unit tests for sweep schedule construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OrderingError, ScheduleError
+from repro.hypercube import sweep_rotation
+from repro.orderings import (
+    SweepSchedule,
+    Transition,
+    TransitionKind,
+    build_sweep_schedule,
+    get_ordering,
+    sweep_length,
+)
+
+
+class TestSweepLength:
+    def test_formula(self):
+        # 2**(d+1) - 1 steps: the minimum for 2**(d+1) blocks
+        assert [sweep_length(d) for d in range(5)] == [1, 3, 7, 15, 31]
+
+    def test_invalid(self):
+        with pytest.raises(ScheduleError):
+            sweep_length(-1)
+
+
+class TestScheduleStructure:
+    def test_transition_count(self, ordering_name):
+        for d in range(1, 6):
+            sched = get_ordering(ordering_name, d).sweep_schedule()
+            assert len(sched) == sweep_length(d)
+
+    def test_phase_structure(self):
+        sched = get_ordering("br", 3).sweep_schedule()
+        kinds = [t.kind for t in sched]
+        # e=3: 7 exchanges + division; e=2: 3 + division; e=1: 1 + division;
+        # last
+        expected = ([TransitionKind.EXCHANGE] * 7 + [TransitionKind.DIVISION]
+                    + [TransitionKind.EXCHANGE] * 3 + [TransitionKind.DIVISION]
+                    + [TransitionKind.EXCHANGE] + [TransitionKind.DIVISION]
+                    + [TransitionKind.LAST])
+        assert kinds == expected
+
+    def test_links_first_sweep_br(self):
+        sched = get_ordering("br", 3).sweep_schedule()
+        # D_3, div link 2, D_2, div link 1, D_1, div link 0, last link 2
+        assert sched.links() == (0, 1, 0, 2, 0, 1, 0, 2,
+                                 0, 1, 0, 1,
+                                 0, 0,
+                                 2)
+
+    def test_phase_slices(self):
+        sched = get_ordering("br", 3).sweep_schedule()
+        slices = sched.phase_slices()
+        assert [(e, sl.stop - sl.start) for e, sl in slices] == \
+            [(3, 7), (2, 3), (1, 1)]
+        for e, sl in slices:
+            for t in sched.transitions[sl]:
+                assert t.kind is TransitionKind.EXCHANGE and t.phase == e
+
+    def test_zero_cube(self):
+        sched = get_ordering("br", 0).sweep_schedule()
+        assert len(sched) == 0
+        assert sched.num_steps == 1
+
+
+class TestSweepRotationApplied:
+    def test_second_sweep_links_rotated(self):
+        d = 4
+        base = get_ordering("br", d).sweep_schedule(0)
+        rotated = get_ordering("br", d).sweep_schedule(1)
+        sigma = sweep_rotation(d, 1)
+        assert rotated.links() == tuple(sigma(x) for x in base.links())
+
+    def test_sweep_d_equals_sweep_0(self):
+        d = 3
+        assert get_ordering("degree4", d).sweep_schedule(0).links() == \
+            get_ordering("degree4", d).sweep_schedule(d).links()
+
+    def test_all_links_in_range(self, ordering_name):
+        for d in (2, 4):
+            for s in range(d + 1):
+                sched = get_ordering(ordering_name, d).sweep_schedule(s)
+                assert all(0 <= t.link < d for t in sched)
+
+
+class TestValidation:
+    def test_validate_rejects_wrong_length(self):
+        good = get_ordering("br", 2).sweep_schedule()
+        bad = SweepSchedule(d=2, sweep=0, ordering_name="x",
+                            transitions=good.transitions[:-1])
+        with pytest.raises(ScheduleError):
+            bad.validate()
+
+    def test_validate_rejects_wrong_kind(self):
+        good = get_ordering("br", 2).sweep_schedule()
+        trs = list(good.transitions)
+        trs[-1] = Transition(link=0, kind=TransitionKind.EXCHANGE, phase=1)
+        with pytest.raises(ScheduleError):
+            SweepSchedule(d=2, sweep=0, ordering_name="x",
+                          transitions=tuple(trs)).validate()
+
+    def test_validate_rejects_bad_link(self):
+        good = get_ordering("br", 2).sweep_schedule()
+        trs = list(good.transitions)
+        trs[0] = Transition(link=5, kind=TransitionKind.EXCHANGE, phase=2)
+        with pytest.raises(ScheduleError):
+            SweepSchedule(d=2, sweep=0, ordering_name="x",
+                          transitions=tuple(trs)).validate()
+
+
+class TestOrderingClassContracts:
+    def test_phase_out_of_range(self, ordering_name):
+        o = get_ordering(ordering_name, 3)
+        with pytest.raises(OrderingError):
+            o.phase_sequence(0)
+        with pytest.raises(OrderingError):
+            o.phase_sequence(4)
+
+    def test_validate_all_orderings(self, ordering_name):
+        get_ordering(ordering_name, 5).validate()
+
+    def test_min_alpha_rejects_large_d(self):
+        with pytest.raises(OrderingError):
+            get_ordering("min-alpha", 7)
+
+    def test_unknown_name(self):
+        with pytest.raises(OrderingError, match="unknown ordering"):
+            get_ordering("nope", 3)
+
+    def test_phase_alpha(self):
+        assert get_ordering("br", 4).phase_alpha(4) == 8
+
+    def test_custom_ordering_mapping(self):
+        from repro.orderings import CustomOrdering, br_sequence
+
+        o = CustomOrdering(2, {1: (0,), 2: br_sequence(2)}, name="mine")
+        assert o.phase_sequence(2) == (0, 1, 0)
+        o.validate()
+
+    def test_custom_ordering_missing_phase(self):
+        from repro.orderings import CustomOrdering
+
+        o = CustomOrdering(2, {2: (0, 1, 0)})
+        with pytest.raises(OrderingError, match="no sequence"):
+            o.phase_sequence(1)
+
+    def test_custom_ordering_invalid_sequence(self):
+        from repro.errors import SequenceError
+        from repro.orderings import CustomOrdering
+
+        o = CustomOrdering(2, {1: (0,), 2: (0, 0, 1)})
+        with pytest.raises(SequenceError):
+            o.phase_sequence(2)
+
+    def test_custom_ordering_callable(self):
+        from repro.orderings import CustomOrdering, br_sequence
+
+        o = CustomOrdering(3, br_sequence)
+        assert o.phase_sequence(3) == br_sequence(3)
+
+    def test_register_ordering(self):
+        from repro.orderings import (BROrdering, ORDERING_NAMES,
+                                     register_ordering)
+        from repro.orderings.base import _REGISTRY
+
+        class Renamed(BROrdering):
+            name = "br-alias-for-test"
+
+        try:
+            register_ordering(Renamed)
+            assert get_ordering("br-alias-for-test", 2).phase_sequence(2) \
+                == (0, 1, 0)
+        finally:
+            _REGISTRY.pop("br-alias-for-test", None)
+
+    def test_register_rejects_bad_class(self):
+        from repro.orderings import register_ordering
+
+        with pytest.raises(OrderingError):
+            register_ordering(object)  # type: ignore[arg-type]

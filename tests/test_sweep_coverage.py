@@ -1,0 +1,154 @@
+"""Pair-coverage verification: the ground-truth correctness tests.
+
+Every ordering's sweep schedule must pair every unordered pair of the
+``2**(d+1)`` blocks exactly once — for every dimension, every sweep
+rotation, and any block layout.  These tests also show the *necessity* of
+the re-derived schedule structure (DESIGN.md §5): mutating the division
+link breaks coverage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.orderings import (
+    SweepSchedule,
+    Transition,
+    TransitionKind,
+    check_pair_coverage,
+    default_layout,
+    get_ordering,
+    simulate_sweep_pairings,
+)
+
+
+class TestCoverage:
+    @pytest.mark.parametrize("d", range(1, 6))
+    def test_first_sweep(self, ordering_name, d):
+        if ordering_name == "min-alpha" and d > 6:
+            pytest.skip("min-alpha only defined for d <= 6")
+        report = check_pair_coverage(
+            get_ordering(ordering_name, d).sweep_schedule())
+        assert report.ok, (report.missing[:3], report.duplicated[:3])
+        assert report.num_blocks == 1 << (d + 1)
+        assert report.num_steps == (1 << (d + 1)) - 1
+
+    @pytest.mark.parametrize("sweep", [1, 2, 5])
+    def test_rotated_sweeps(self, ordering_name, sweep):
+        report = check_pair_coverage(
+            get_ordering(ordering_name, 4).sweep_schedule(sweep))
+        assert report.ok
+
+    def test_random_layouts(self, ordering_name, rng):
+        d = 3
+        for _ in range(5):
+            layout = rng.permutation(1 << (d + 1)).reshape(-1, 2)
+            report = check_pair_coverage(
+                get_ordering(ordering_name, d).sweep_schedule(), layout)
+            assert report.ok
+
+    def test_chained_sweeps(self, ordering_name):
+        # the layout a sweep leaves behind must admit the next sweep
+        d = 3
+        o = get_ordering(ordering_name, d)
+        layout = None
+        for s in range(2 * d):
+            sched = o.sweep_schedule(s)
+            assert check_pair_coverage(sched, layout).ok
+            _, layout = simulate_sweep_pairings(sched, layout)
+
+    def test_zero_cube(self):
+        report = check_pair_coverage(get_ordering("br", 0).sweep_schedule())
+        assert report.ok and report.num_blocks == 2 and report.num_steps == 1
+
+    def test_min_alpha_full_range(self):
+        for d in range(1, 7):
+            assert check_pair_coverage(
+                get_ordering("min-alpha", d).sweep_schedule()).ok
+
+
+class TestScheduleNecessity:
+    """Ablations: breaking the re-derived structure breaks coverage."""
+
+    def _mutate_division_links(self, sched: SweepSchedule, delta: int
+                               ) -> SweepSchedule:
+        trs = []
+        for t in sched.transitions:
+            if t.kind is TransitionKind.DIVISION and t.phase >= 2:
+                trs.append(Transition(link=(t.link + delta) % sched.d,
+                                      kind=t.kind, phase=t.phase))
+            else:
+                trs.append(t)
+        return SweepSchedule(d=sched.d, sweep=sched.sweep,
+                             ordering_name=sched.ordering_name,
+                             transitions=tuple(trs))
+
+    def test_wrong_division_link_breaks_coverage(self):
+        sched = get_ordering("br", 3).sweep_schedule()
+        broken = self._mutate_division_links(sched, +1)
+        assert not check_pair_coverage(broken).ok
+
+    def test_division_as_plain_exchange_breaks_coverage(self):
+        sched = get_ordering("br", 3).sweep_schedule()
+        trs = tuple(
+            Transition(link=t.link, kind=TransitionKind.EXCHANGE,
+                       phase=t.phase)
+            if t.kind is TransitionKind.DIVISION else t
+            for t in sched.transitions)
+        broken = SweepSchedule(d=3, sweep=0, ordering_name="x",
+                               transitions=trs)
+        assert not check_pair_coverage(broken).ok
+
+    def test_non_hamiltonian_phase_breaks_coverage(self):
+        sched = get_ordering("br", 3).sweep_schedule()
+        trs = list(sched.transitions)
+        # replace phase-3 links with a walk that revisits nodes
+        for i in range(7):
+            trs[i] = Transition(link=0 if i % 2 == 0 else 1,
+                                kind=TransitionKind.EXCHANGE, phase=3)
+        broken = SweepSchedule(d=3, sweep=0, ordering_name="x",
+                               transitions=tuple(trs))
+        assert not check_pair_coverage(broken).ok
+
+    def test_last_transition_link_is_free(self):
+        # the LAST transition only reshuffles; any link keeps coverage
+        sched = get_ordering("br", 3).sweep_schedule()
+        trs = list(sched.transitions)
+        last = trs[-1]
+        for link in range(3):
+            trs[-1] = Transition(link=link, kind=TransitionKind.LAST,
+                                 phase=0)
+            variant = SweepSchedule(d=3, sweep=0, ordering_name="x",
+                                    transitions=tuple(trs))
+            assert check_pair_coverage(variant).ok
+        trs[-1] = last
+
+
+class TestLayoutValidation:
+    def test_default_layout(self):
+        layout = default_layout(2)
+        assert layout.tolist() == [[0, 1], [2, 3], [4, 5], [6, 7]]
+
+    def test_bad_layout_shape(self):
+        sched = get_ordering("br", 2).sweep_schedule()
+        with pytest.raises(SimulationError):
+            simulate_sweep_pairings(sched, np.zeros((3, 2), dtype=np.int64))
+
+    def test_bad_layout_contents(self):
+        sched = get_ordering("br", 2).sweep_schedule()
+        layout = np.zeros((4, 2), dtype=np.int64)
+        with pytest.raises(SimulationError, match="exactly once"):
+            simulate_sweep_pairings(sched, layout)
+
+    def test_coverage_report_raise(self):
+        sched = get_ordering("br", 3).sweep_schedule()
+        report = check_pair_coverage(sched)
+        report.raise_if_failed()  # ok: no-op
+        from repro.errors import ScheduleError
+
+        broken = TestScheduleNecessity()._mutate_division_links(sched, +1)
+        bad = check_pair_coverage(broken)
+        with pytest.raises(ScheduleError, match="pair-coverage failed"):
+            bad.raise_if_failed()

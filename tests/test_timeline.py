@@ -1,0 +1,50 @@
+"""Tests for the link-usage timeline renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_link_timeline, render_phase_timelines
+from repro.errors import PipeliningError
+from repro.orderings import br_sequence
+
+
+class TestRenderLinkTimeline:
+    def test_row_per_link(self):
+        text = render_link_timeline(br_sequence(4), Q=3)
+        assert all(f"link {i} |" in text for i in range(4))
+
+    def test_q1_single_packet_per_stage(self):
+        text = render_link_timeline((0, 1, 0), Q=1, title="t")
+        lines = {l.split("|")[0].strip(): l.split("|")[1]
+                 for l in text.splitlines() if "|" in l}
+        assert lines["link 0"] == "1.1"
+        assert lines["link 1"] == ".1."
+
+    def test_br_bottleneck_visible(self):
+        # every kernel stage of BR at Q=4 combines 2 packets on link 0
+        text = render_link_timeline(br_sequence(5), Q=4, max_stages=None)
+        link0 = [l for l in text.splitlines() if l.startswith("link 0")][0]
+        assert "2" in link0
+
+    def test_truncation_marker(self):
+        text = render_link_timeline(br_sequence(6), Q=8, max_stages=10)
+        assert "(truncated)" in text
+
+    def test_phase_timelines_smoke(self):
+        text = render_phase_timelines(5, 4)
+        assert text.count("exchange phase e=5") == 3
+        assert "degree4" in text and "permuted-br" in text
+
+    def test_invalid_q(self):
+        with pytest.raises(PipeliningError):
+            render_phase_timelines(5, 0)
+
+
+class TestCliTimeline:
+    def test_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["timeline", "--e", "4", "--q", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "link 0" in out and "stages" in out

@@ -1,0 +1,175 @@
+"""Unit tests for :mod:`repro.hypercube.topology`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.hypercube import (
+    Hypercube,
+    gray_code,
+    hamming_distance,
+    inverse_gray_code,
+    popcount,
+)
+
+
+class TestPopcountAndDistance:
+    def test_popcount_basic(self):
+        assert [popcount(x) for x in (0, 1, 2, 3, 255)] == [0, 1, 1, 2, 8]
+
+    def test_popcount_rejects_negative(self):
+        with pytest.raises(ValueError):
+            popcount(-1)
+
+    def test_hamming_distance_symmetric(self):
+        assert hamming_distance(0b1010, 0b0110) == 2
+        assert hamming_distance(5, 5) == 0
+        assert hamming_distance(3, 0) == hamming_distance(0, 3)
+
+
+class TestGrayCode:
+    def test_consecutive_codes_differ_in_one_bit(self):
+        for i in range(255):
+            assert popcount(gray_code(i) ^ gray_code(i + 1)) == 1
+
+    def test_inverse_round_trip(self):
+        for i in range(256):
+            assert inverse_gray_code(gray_code(i)) == i
+
+    def test_gray_path_is_hamiltonian(self):
+        cube = Hypercube(5)
+        path = cube.gray_path()
+        assert sorted(path) == list(range(32))
+        for a, b in zip(path, path[1:]):
+            assert cube.are_neighbors(a, b)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            gray_code(-1)
+        with pytest.raises(ValueError):
+            inverse_gray_code(-2)
+
+
+class TestHypercubeBasics:
+    def test_sizes(self):
+        cube = Hypercube(4)
+        assert cube.num_nodes == 16
+        assert cube.num_links == 32  # 4 * 2**3
+        assert list(cube.links) == [0, 1, 2, 3]
+        assert len(list(cube.nodes)) == 16
+
+    def test_zero_cube(self):
+        cube = Hypercube(0)
+        assert cube.num_nodes == 1
+        assert cube.num_links == 0
+
+    def test_negative_dimension_rejected(self):
+        with pytest.raises(TopologyError):
+            Hypercube(-1)
+
+    def test_non_integer_dimension_rejected(self):
+        with pytest.raises(TopologyError):
+            Hypercube(2.5)  # type: ignore[arg-type]
+
+    def test_numpy_integer_dimension_accepted(self):
+        assert Hypercube(np.int64(3)).num_nodes == 8
+
+
+class TestNeighbourhood:
+    def test_paper_example_node2_link1_reaches_node0(self):
+        # "node 2 uses link 1 (or dimension 1) to send messages to node 0"
+        assert Hypercube(2).neighbor(2, 1) == 0
+
+    def test_neighbor_is_involution(self):
+        cube = Hypercube(5)
+        for node in (0, 7, 21, 31):
+            for link in cube.links:
+                assert cube.neighbor(cube.neighbor(node, link), link) == node
+
+    def test_neighbors_list(self):
+        cube = Hypercube(3)
+        assert sorted(cube.neighbors(0)) == [1, 2, 4]
+        assert sorted(cube.neighbors(7)) == [3, 5, 6]
+
+    def test_neighbor_array_matches_scalar(self):
+        cube = Hypercube(4)
+        for link in cube.links:
+            arr = cube.neighbor_array(link)
+            for v in cube.nodes:
+                assert arr[v] == cube.neighbor(v, link)
+
+    def test_link_between(self):
+        cube = Hypercube(4)
+        assert cube.link_between(0, 8) == 3
+        assert cube.link_between(5, 4) == 0
+
+    def test_link_between_non_neighbors_raises(self):
+        with pytest.raises(TopologyError):
+            Hypercube(3).link_between(0, 3)
+
+    def test_out_of_range_node_raises(self):
+        with pytest.raises(TopologyError):
+            Hypercube(3).neighbor(8, 0)
+
+    def test_out_of_range_link_raises(self):
+        with pytest.raises(TopologyError):
+            Hypercube(3).neighbor(0, 3)
+
+    def test_distance_equals_hamming(self):
+        cube = Hypercube(4)
+        assert cube.distance(0b0000, 0b1111) == 4
+        assert cube.distance(3, 3) == 0
+
+
+class TestSubcubes:
+    def test_subcube_of(self):
+        cube = Hypercube(3)
+        assert cube.subcube_of(0, 2) == 0
+        assert cube.subcube_of(4, 2) == 1
+
+    def test_subcube_nodes_partition(self):
+        cube = Hypercube(4)
+        lower = cube.subcube_nodes(3, 0)
+        upper = cube.subcube_nodes(3, 1)
+        assert sorted(lower + upper) == list(cube.nodes)
+        assert len(lower) == len(upper) == 8
+
+    def test_subcube_nodes_bad_half(self):
+        with pytest.raises(TopologyError):
+            Hypercube(3).subcube_nodes(0, 2)
+
+    def test_subcube_members(self):
+        cube = Hypercube(3)
+        members = cube.subcube_members({0: 1, 2: 0})
+        assert members == [1, 3]
+
+    def test_subcube_members_bad_bit(self):
+        with pytest.raises(TopologyError):
+            Hypercube(3).subcube_members({0: 2})
+
+
+class TestEdges:
+    def test_edge_count_and_uniqueness(self):
+        cube = Hypercube(4)
+        edges = list(cube.edges())
+        assert len(edges) == cube.num_links
+        assert len({(a, b) for a, b, _ in edges}) == len(edges)
+
+    def test_edges_are_neighbor_pairs(self):
+        cube = Hypercube(3)
+        for a, b, dim in cube.edges():
+            assert cube.link_between(a, b) == dim
+            assert (a >> dim) & 1 == 0
+
+    def test_matches_networkx_hypercube(self):
+        nx = pytest.importorskip("networkx")
+        cube = Hypercube(4)
+        g = nx.hypercube_graph(4)
+        # networkx labels nodes with bit tuples; convert to ints
+        def to_int(t):
+            return sum(b << i for i, b in enumerate(t))
+        nx_edges = {frozenset((to_int(a), to_int(b))) for a, b in g.edges()}
+        our_edges = {frozenset((a, b)) for a, b, _ in cube.edges()}
+        assert nx_edges == our_edges

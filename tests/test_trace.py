@@ -1,0 +1,70 @@
+"""Unit tests for communication trace accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ccube import MachineParams
+from repro.simulator import CommunicationTrace
+
+
+@pytest.fixture
+def machine():
+    return MachineParams(ts=10.0, tw=2.0)
+
+
+class TestChargeTransition:
+    def test_cost(self, machine):
+        trace = CommunicationTrace(machine=machine)
+        cost = trace.charge_transition(link=3, message_elems=100.0,
+                                       kind="exchange", phase=4, sweep=0)
+        assert cost == 10.0 + 2.0 * 100.0
+        assert trace.total_cost == cost
+        rec = trace.records[0]
+        assert rec.links == (3,) and rec.packets_per_link == (1,)
+
+    def test_total_elements(self, machine):
+        trace = CommunicationTrace(machine=machine)
+        trace.charge_transition(0, 50.0, "exchange", 1, 0)
+        trace.charge_transition(1, 70.0, "division", 1, 0)
+        assert trace.total_elements() == 120.0
+
+
+class TestChargeStage:
+    def test_combining(self, machine):
+        trace = CommunicationTrace(machine=machine)
+        # window 0-1-0: two packets combine on link 0
+        cost = trace.charge_stage(np.array([0, 1, 0]), packet_elems=10.0,
+                                  phase=3, sweep=1)
+        # all-port: Ts*2 distinct + Tw*10*2 (busiest link carries 2)
+        assert cost == 10.0 * 2 + 2.0 * 10.0 * 2
+        rec = trace.records[0]
+        assert rec.links == (0, 1)
+        assert rec.packets_per_link == (2, 1)
+
+    def test_one_port_serialisation(self):
+        machine = MachineParams(ts=10.0, tw=2.0, ports=1)
+        trace = CommunicationTrace(machine=machine)
+        cost = trace.charge_stage(np.array([0, 1, 2]), packet_elems=5.0,
+                                  phase=3, sweep=0)
+        # one port: 3 start-ups + all 3 packets serialised
+        assert cost == 10.0 * 3 + 2.0 * 5.0 * 3
+
+
+class TestAggregation:
+    def test_summaries(self, machine):
+        trace = CommunicationTrace(machine=machine)
+        trace.charge_transition(0, 10.0, "exchange", 2, 0)
+        trace.charge_stage(np.array([0, 1]), 5.0, 2, 1)
+        assert trace.num_steps == 2
+        assert set(trace.cost_by_kind()) == {"exchange", "stage"}
+        assert set(trace.cost_by_sweep()) == {0, 1}
+        assert trace.max_links_in_step() == 2
+        text = trace.summary()
+        assert "2 steps" in text and "all-port" in text
+
+    def test_empty_trace(self, machine):
+        trace = CommunicationTrace(machine=machine)
+        assert trace.total_cost == 0.0
+        assert trace.max_links_in_step() == 0
