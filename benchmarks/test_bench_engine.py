@@ -1,0 +1,81 @@
+"""Benchmark: batched multi-matrix engine vs the sequential solver loop.
+
+Times :func:`repro.engine.run_ensemble` under both engines on the
+**default Table-2 configuration grid** (every feasible (m, P) with
+m in {8, 16, 32, 64}) and asserts
+
+* the per-matrix sweep counts are bit-identical, and
+* the batched engine is at least 3x faster.
+
+``REPRO_BENCH_ENGINE_MATRICES`` controls the ensemble size of the fast
+default run (8; the paper-scale run below uses the paper's 30).
+``REPRO_BENCH_MIN_SPEEDUP`` overrides the required speedup (default 3.0)
+— wall-clock ratios can compress on heavily-shared CI runners, where a
+lower floor keeps the check meaningful without flaking.
+
+Run::
+
+    pytest benchmarks/test_bench_engine.py -s
+    pytest benchmarks/test_bench_engine.py -s -m slow   # paper scale
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.table2 import default_configs
+from repro.engine import run_ensemble
+
+#: Required advantage of the batched engine over the sequential loop on
+#: the default configuration grid (observed locally: ~4x).
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "3.0"))
+
+
+def _time_engines(num_matrices: int):
+    configs = default_configs()
+    t0 = time.perf_counter()
+    seq = run_ensemble(configs, num_matrices=num_matrices, seed=1998,
+                       engine="sequential")
+    t_seq = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    bat = run_ensemble(configs, num_matrices=num_matrices, seed=1998,
+                       engine="batched")
+    t_bat = time.perf_counter() - t0
+    return seq, t_seq, bat, t_bat
+
+
+def _assert_identical(seq, bat):
+    for a, b in zip(seq, bat):
+        for name in a.sweeps:
+            assert np.array_equal(a.sweeps[name], b.sweeps[name]), \
+                f"sweep counts diverged at (m={a.m}, P={a.P}, {name})"
+
+
+def test_engine_speedup_default_grid():
+    """Batched >= 3x faster than sequential on the default config grid,
+    with bit-identical sweep counts."""
+    num = int(os.environ.get("REPRO_BENCH_ENGINE_MATRICES", "8"))
+    seq, t_seq, bat, t_bat = _time_engines(num)
+    _assert_identical(seq, bat)
+    speedup = t_seq / t_bat
+    print(f"\nengine speedup ({num} matrices/config, "
+          f"{len(default_configs())} configs): sequential {t_seq:.2f}s, "
+          f"batched {t_bat:.2f}s -> {speedup:.2f}x")
+    assert speedup >= MIN_SPEEDUP, (
+        f"batched engine only {speedup:.2f}x faster (< {MIN_SPEEDUP}x) "
+        f"on the default Table-2 grid")
+
+
+@pytest.mark.slow
+def test_engine_speedup_paper_scale():
+    """Same comparison at the paper's 30 matrices per configuration."""
+    seq, t_seq, bat, t_bat = _time_engines(30)
+    _assert_identical(seq, bat)
+    speedup = t_seq / t_bat
+    print(f"\nengine speedup (30 matrices/config): sequential "
+          f"{t_seq:.2f}s, batched {t_bat:.2f}s -> {speedup:.2f}x")
+    assert speedup >= MIN_SPEEDUP

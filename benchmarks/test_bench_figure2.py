@@ -21,6 +21,7 @@ from repro.analysis.figure2 import (
 )
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("panel_idx,m", list(enumerate(PAPER_FIGURE2_M)))
 def test_figure2_panel(benchmark, bench_max_dim, panel_idx, m):
     """Time one panel's full computation and print its series."""

@@ -13,9 +13,12 @@ Run::
 
 from __future__ import annotations
 
+import pytest
+
 from repro.analysis.table2 import compute_table2, default_configs, render_table2
 
 
+@pytest.mark.slow
 def test_table2_regeneration(benchmark, bench_matrices):
     """Time the full Table-2 experiment and print the rows."""
     rows = benchmark.pedantic(

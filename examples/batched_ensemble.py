@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Quickstart for the batched multi-matrix eigensolver engine.
+
+The sequential :class:`~repro.jacobi.parallel.ParallelOneSidedJacobi`
+solves one matrix per call; the batched engine stacks a whole ensemble
+on a leading axis and runs one shared sweep schedule across all of them
+— several times faster on the Monte-Carlo workloads of Table 2, and
+bit-for-bit identical in eigenvalues and sweep counts.
+
+Run::
+
+    python examples/batched_ensemble.py [--batch 16] [--m 32] [--d 2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro import BatchedOneSidedJacobi, ParallelOneSidedJacobi, get_ordering
+from repro.engine import GLOBAL_SCHEDULE_CACHE, run_ensemble
+from repro.jacobi import make_symmetric_test_matrix
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--batch", type=int, default=16,
+                        help="matrices in the batch")
+    parser.add_argument("--m", type=int, default=32)
+    parser.add_argument("--d", type=int, default=2)
+    parser.add_argument("--ordering", default="degree4")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    ordering = get_ordering(args.ordering, args.d)
+    mats = [make_symmetric_test_matrix(args.m, rng=(args.seed, k))
+            for k in range(args.batch)]
+
+    # --- one call solves the whole stack -----------------------------
+    engine = BatchedOneSidedJacobi(ordering)
+    t0 = time.perf_counter()
+    res = engine.solve(mats)
+    t_batched = time.perf_counter() - t0
+    print(f"batched:    {len(res)} matrices of size {args.m} in "
+          f"{t_batched:.3f}s; sweeps per matrix: {res.sweeps.tolist()}")
+
+    # --- the sequential path, for comparison -------------------------
+    solver = ParallelOneSidedJacobi(ordering)
+    t0 = time.perf_counter()
+    seq = [solver.solve(A) for A in mats]
+    t_seq = time.perf_counter() - t0
+    print(f"sequential: same ensemble in {t_seq:.3f}s "
+          f"({t_seq / t_batched:.2f}x slower)")
+
+    # --- the results are not merely close: they are bit-identical ----
+    identical = all(
+        np.array_equal(s.eigenvalues, res.eigenvalues[k])
+        and np.array_equal(s.eigenvectors, res.eigenvectors[k])
+        and s.sweeps == res.sweeps[k]
+        for k, s in enumerate(seq))
+    print(f"bit-identical eigenvalues/eigenvectors/sweeps: {identical}")
+
+    # --- accuracy against LAPACK -------------------------------------
+    err = max(float(np.abs(res.eigenvalues[k] - np.linalg.eigh(A)[0]).max())
+              for k, A in enumerate(mats))
+    print(f"max |eig - numpy.linalg.eigh| over the batch: {err:.2e}")
+
+    # --- ensembles over whole (m, P) grids ---------------------------
+    results = run_ensemble([(16, 2), (16, 4), (32, 4)], num_matrices=10,
+                           seed=1998)
+    print("\nrun_ensemble mean sweeps per (m, P):")
+    for r in results:
+        means = ", ".join(f"{name}={v:.2f}"
+                          for name, v in r.mean_sweeps().items())
+        print(f"  m={r.m:3d} P={r.P:2d}: {means} (spread {r.spread():.2f})")
+    info = GLOBAL_SCHEDULE_CACHE.cache_info()
+    print(f"\nschedule cache: {info.hits} hits, {info.misses} misses "
+          f"({info.size} entries) — repeated configurations never "
+          f"rebuild their sweep schedules")
+
+
+if __name__ == "__main__":
+    main()

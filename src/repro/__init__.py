@@ -28,6 +28,8 @@ Package layout
   multi-port cost model.
 * :mod:`repro.jacobi` — rotation kernels and the sequential / parallel /
   SPMD eigensolvers.
+* :mod:`repro.engine` — the batched multi-matrix eigensolver engine,
+  schedule cache, and Monte-Carlo ensemble runner.
 * :mod:`repro.simulator` — in-process message passing, communication
   traces, the packetised pipelined executor.
 * :mod:`repro.analysis` — Table 1 / Table 2 / Figure 2 / appendix
@@ -51,6 +53,13 @@ from .errors import (
     SequenceError,
     SimulationError,
     TopologyError,
+)
+from .engine import (
+    BatchedOneSidedJacobi,
+    BatchedResult,
+    GLOBAL_SCHEDULE_CACHE,
+    ScheduleCache,
+    run_ensemble,
 )
 from .hypercube import Hypercube
 from .jacobi import (
@@ -87,6 +96,9 @@ __all__ = [
     # solvers
     "ParallelOneSidedJacobi", "onesided_jacobi",
     "make_symmetric_test_matrix",
+    # batched engine
+    "BatchedOneSidedJacobi", "BatchedResult", "ScheduleCache",
+    "GLOBAL_SCHEDULE_CACHE", "run_ensemble",
     # errors
     "ReproError", "TopologyError", "SequenceError", "OrderingError",
     "ScheduleError", "PipeliningError", "ConvergenceError",

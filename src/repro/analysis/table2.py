@@ -11,6 +11,12 @@ does not state its convergence threshold, so absolute sweep counts are
 calibration-dependent (DESIGN.md §5.6); the reproducible claim — checked
 by the tests — is that the per-configuration means of the three orderings
 agree closely while growing slowly with m.
+
+The Monte-Carlo loop itself lives in :func:`repro.engine.run_ensemble`;
+this module aggregates its per-matrix counts into the paper's rows.  The
+``engine`` parameter selects the batched multi-matrix solver (default)
+or the historical per-matrix sequential loop — the two are bit-identical
+in sweep counts, so the table is the same either way.
 """
 
 from __future__ import annotations
@@ -18,19 +24,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
+from ..engine.runner import ENSEMBLE_ORDERINGS, run_ensemble
 from ..jacobi.convergence import DEFAULT_TOL
-from ..jacobi.onesided import make_symmetric_test_matrix
-from ..jacobi.parallel import ParallelOneSidedJacobi
-from ..orderings.base import get_ordering
 from .report import render_table
 
 __all__ = ["Table2Row", "PAPER_TABLE2_CONFIGS", "default_configs",
            "compute_table2", "render_table2"]
 
 #: The orderings compared in Table 2, in the paper's column order.
-TABLE2_ORDERINGS: Tuple[str, ...] = ("br", "permuted-br", "degree4")
+TABLE2_ORDERINGS: Tuple[str, ...] = ENSEMBLE_ORDERINGS
 
 #: The paper's (m, P) grid: every power-of-two P from 2 up to m/2.
 PAPER_TABLE2_CONFIGS: Tuple[Tuple[int, int], ...] = tuple(
@@ -72,8 +74,8 @@ def compute_table2(configs: Optional[Sequence[Tuple[int, int]]] = None,
                    num_matrices: int = 30,
                    tol: float = DEFAULT_TOL,
                    seed: int = 1998,
-                   orderings: Sequence[str] = TABLE2_ORDERINGS
-                   ) -> List[Table2Row]:
+                   orderings: Sequence[str] = TABLE2_ORDERINGS,
+                   engine: str = "batched") -> List[Table2Row]:
     """Rerun the Table-2 convergence experiment.
 
     Parameters
@@ -87,23 +89,18 @@ def compute_table2(configs: Optional[Sequence[Tuple[int, int]]] = None,
     seed:
         Base RNG seed; every configuration uses an independent seeded
         stream, and *all orderings see the same matrices*.
+    engine:
+        ``"batched"`` (default) or ``"sequential"`` — bit-identical sweep
+        counts, very different wall clock.
     """
     configs = default_configs() if configs is None else list(configs)
+    results = run_ensemble(configs, num_matrices=num_matrices, seed=seed,
+                           tol=tol, orderings=orderings, engine=engine)
     rows: List[Table2Row] = []
-    for m, P in configs:
-        d = int(P).bit_length() - 1
-        if (1 << d) != P:
-            raise ValueError(f"P={P} is not a power of two")
-        rng = np.random.default_rng((seed, m, P))
-        matrices = [make_symmetric_test_matrix(m, rng)
-                    for _ in range(num_matrices)]
-        means: Dict[str, float] = {}
-        for name in orderings:
-            solver = ParallelOneSidedJacobi(get_ordering(name, d), tol=tol)
-            counts = [solver.solve(A).sweeps for A in matrices]
-            means[name] = float(np.mean(counts))
+    for res in results:
+        means = res.mean_sweeps()
         vals = list(means.values())
-        rows.append(Table2Row(m=m, P=P, sweeps=means,
+        rows.append(Table2Row(m=res.m, P=res.P, sweeps=means,
                               spread=max(vals) - min(vals)))
     return rows
 

@@ -3,7 +3,7 @@
 Usage (after ``pip install -e .``)::
 
     repro-jacobi table1
-    repro-jacobi table2 [--matrices N] [--max-m M] [--tol T]
+    repro-jacobi table2 [--matrices N] [--max-m M] [--tol T] [--engine E]
     repro-jacobi figure2 [--dims 5..15] [--m-exponents 18,23,32]
     repro-jacobi appendix
     repro-jacobi sequences [--max-e E]
@@ -37,10 +37,11 @@ def _cmd_table2(args: argparse.Namespace) -> int:
 
     rows = compute_table2(configs=default_configs(args.max_m),
                           num_matrices=args.matrices,
-                          tol=args.tol, seed=args.seed)
+                          tol=args.tol, seed=args.seed,
+                          engine=args.engine)
     print(render_table2(rows))
     print(f"\n(matrices per config: {args.matrices}, tol: {args.tol:g}, "
-          f"seed: {args.seed})")
+          f"seed: {args.seed}, engine: {args.engine})")
     return 0
 
 
@@ -169,6 +170,11 @@ def build_parser() -> argparse.ArgumentParser:
     t2.add_argument("--max-m", type=int, default=64)
     t2.add_argument("--tol", type=float, default=1e-9)
     t2.add_argument("--seed", type=int, default=1998)
+    t2.add_argument("--engine", choices=("sequential", "batched"),
+                    default="batched",
+                    help="solver engine: batched multi-matrix (default) "
+                         "or the historical per-matrix loop; results are "
+                         "bit-identical")
     t2.set_defaults(func=_cmd_table2)
 
     f2 = sub.add_parser("figure2", help="relative communication cost curves")

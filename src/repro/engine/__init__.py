@@ -1,0 +1,44 @@
+"""Batched multi-matrix eigensolver engine with schedule caching.
+
+The scaling layer above the single-matrix solvers:
+
+* :mod:`repro.engine.batched` — :class:`BatchedOneSidedJacobi`, one
+  shared sweep schedule across a whole stack of matrices, bit-identical
+  to the sequential path.
+* :mod:`repro.engine.cache` — process-level memo of built sweep
+  schedules and ordering sequences.
+* :mod:`repro.engine.runner` — :func:`run_ensemble`, the Monte-Carlo
+  driver behind Table 2 and the convergence studies.
+"""
+
+from .batched import BatchedOneSidedJacobi, BatchedResult, stack_matrices
+from .cache import (
+    GLOBAL_SCHEDULE_CACHE,
+    CacheInfo,
+    ScheduleCache,
+    get_phase_sequences,
+    get_schedule,
+)
+from .runner import (
+    ENGINES,
+    ENSEMBLE_ORDERINGS,
+    EnsembleConfigResult,
+    generate_ensemble,
+    run_ensemble,
+)
+
+__all__ = [
+    "BatchedOneSidedJacobi",
+    "BatchedResult",
+    "stack_matrices",
+    "ScheduleCache",
+    "CacheInfo",
+    "GLOBAL_SCHEDULE_CACHE",
+    "get_schedule",
+    "get_phase_sequences",
+    "ENGINES",
+    "ENSEMBLE_ORDERINGS",
+    "EnsembleConfigResult",
+    "generate_ensemble",
+    "run_ensemble",
+]

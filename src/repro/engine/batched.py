@@ -1,0 +1,584 @@
+"""Batched multi-matrix one-sided Jacobi engine.
+
+The repo's dominant workload is Monte-Carlo ensembles: Table 2 and the
+convergence studies push 30 independent random matrices per ``(m, P)``
+configuration through :class:`~repro.jacobi.parallel.ParallelOneSidedJacobi`
+one at a time.  Every kernel in :mod:`repro.jacobi.rotations` is already
+vectorised over disjoint pairs, so the natural next axis is the *matrix*
+axis: :class:`BatchedOneSidedJacobi` stacks a list of same-shape matrices
+on a leading batch dimension and executes one shared
+:class:`~repro.orderings.sweep.SweepSchedule` across the whole batch,
+turning thousands of tiny NumPy calls into a handful of large ones.
+
+Two backends implement the batch:
+
+* ``_SplitBackend`` (balanced block distributions — every paper
+  configuration) stores the stationary and moving column blocks of all
+  nodes as two contiguous ``(B, V, b, m)`` planes *in transposed layout*
+  (each matrix column is a contiguous row).  A cross-block pairing round
+  is then a cyclic shift of the moving plane against the stationary one
+  — no gather/scatter indexing at all — and a block transition is a pair
+  of slice swaps.  All updates run through preallocated buffers with
+  in-place ufuncs.  This is what delivers the engine's speedup: the
+  sequential path spends most of its time in fancy-indexed column
+  gathers and scatters.
+* ``_IndexedBackend`` (uneven blocks) drives the same index rounds as
+  the sequential solver through the batched
+  :func:`~repro.jacobi.rotations.rotate_pairs`.
+
+Convergence is judged per matrix at sweep boundaries (exactly like the
+sequential loop); matrices that have converged stop rotating while the
+rest of the batch continues.  The engine realises this by *compacting*
+the batch between sweeps — a converged matrix's columns are extracted
+into the result and the planes shrink — so trailing sweeps don't pay
+for already-finished matrices, and the survivors' columns are left
+bit-for-bit untouched.  (For callers driving the kernels directly,
+:func:`~repro.jacobi.rotations.rotate_pairs` also offers a per-matrix
+``active=`` identity mask that freezes matrices *within* a batched
+call.)
+
+Bit-identical by construction
+-----------------------------
+The batched engine is not an approximation of the sequential solver — it
+is the *same arithmetic*:
+
+* the pairing rounds are the identical
+  :func:`~repro.jacobi.blocks.cross_block_rounds` /
+  :func:`~repro.jacobi.blocks.round_robin_rounds` coverage, only
+  realised as shifts instead of index gathers;
+* every dot-product reduction contracts contiguous column data in the
+  same order as the sequential kernel's gathered operands (NumPy's
+  einsum picks its inner kernel by operand stride, so the transposed
+  layout reproduces the sequential path's unit-stride reduction
+  bit for bit — the equivalence tests pin this);
+* the rotation updates are the same elementwise expressions
+  (``c*x - s*y`` / ``s*x + c*y``), evaluated in-place;
+* convergence is judged per matrix by the very same
+  :func:`~repro.jacobi.convergence.offdiag_measure` call on a C-ordered
+  2-D slice.
+
+Consequently eigenvalues, eigenvectors, sweep counts, defect histories
+and rotation statistics match the sequential path bit for bit — the
+equivalence tests (``tests/test_engine_batched.py``) assert exactly
+that.
+
+The engine reports no per-matrix communication trace: the simulated
+machine runs the batch in lockstep, so the communication story is the
+sequential solver's (one trace per sweep count), not one per matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import ConvergenceError, SimulationError
+from ..jacobi.blocks import (
+    BlockDistribution,
+    intra_block_rounds,
+    pairing_step_rounds,
+    round_robin_rounds,
+)
+from ..jacobi.convergence import (
+    DEFAULT_TOL,
+    extract_eigenpairs,
+    offdiag_measure,
+)
+from ..jacobi.rotations import (
+    DEFAULT_PAIR_TOL,
+    RotationStats,
+    rotate_pairs,
+    rotation_angles,
+)
+from ..orderings.base import JacobiOrdering
+from ..orderings.sweep import SweepSchedule, TransitionKind
+from ..orderings.validate import apply_transition, default_layout
+from .cache import GLOBAL_SCHEDULE_CACHE, ScheduleCache
+
+__all__ = ["BatchedResult", "BatchedOneSidedJacobi", "stack_matrices"]
+
+
+def stack_matrices(matrices: Union[np.ndarray, Sequence[np.ndarray]]
+                   ) -> np.ndarray:
+    """Stack a sequence of same-shape square matrices into ``(B, m, m)``.
+
+    Accepts an already-stacked 3-D array (returned as float64, copied only
+    if a cast is needed) or any sequence of 2-D arrays.
+    """
+    if isinstance(matrices, np.ndarray) and matrices.ndim == 3:
+        A = np.asarray(matrices, dtype=np.float64)
+    else:
+        mats = [np.asarray(M, dtype=np.float64) for M in matrices]
+        if not mats:
+            raise SimulationError("cannot solve an empty batch")
+        shapes = {M.shape for M in mats}
+        if len(shapes) != 1:
+            raise SimulationError(
+                f"batch requires same-shape matrices, got {sorted(shapes)}")
+        A = np.stack(mats)
+    if A.ndim != 3 or A.shape[1] != A.shape[2]:
+        raise SimulationError(
+            f"batch of square matrices expected, got shape {A.shape}")
+    if A.shape[0] == 0:
+        raise SimulationError("cannot solve an empty batch")
+    return A
+
+
+@dataclass
+class BatchedResult:
+    """Outcome of a batched eigensolve.
+
+    Attributes
+    ----------
+    eigenvalues:
+        ``(B, m)`` ascending eigenvalues per matrix (bit-identical to the
+        sequential solver's).
+    eigenvectors:
+        ``(B, m, m)`` eigenvector columns per matrix (``(B, m, 0)`` when
+        eigenvector accumulation was disabled).
+    sweeps:
+        ``(B,)`` sweeps each matrix needed until convergence.
+    converged:
+        ``(B,)`` whether each matrix met the tolerance in budget.
+    off_history:
+        Per-matrix orthogonality defect after each of *its* sweeps (inner
+        list lengths equal the per-matrix sweep counts).
+    stats:
+        Rotation work, summed over the batch; identical to summing the
+        sequential per-matrix stats.
+    """
+
+    eigenvalues: np.ndarray
+    eigenvectors: np.ndarray
+    sweeps: np.ndarray
+    converged: np.ndarray
+    off_history: List[List[float]]
+    stats: RotationStats
+
+    @property
+    def batch_size(self) -> int:
+        """Number of matrices solved."""
+        return int(self.sweeps.shape[0])
+
+    def __len__(self) -> int:
+        return self.batch_size
+
+
+# ----------------------------------------------------------------------
+class _IndexedBackend:
+    """Generic batch backend: canonical column layout + index rounds.
+
+    Consumes exactly the rounds of
+    :func:`~repro.jacobi.blocks.pairing_step_rounds` /
+    :func:`~repro.jacobi.blocks.intra_block_rounds` through the batched
+    :func:`~repro.jacobi.rotations.rotate_pairs`.  Handles every block
+    distribution, including uneven ones.
+    """
+
+    def __init__(self, A0: np.ndarray, d: int,
+                 compute_eigenvectors: bool) -> None:
+        num, m = A0.shape[0], A0.shape[1]
+        self.dist = BlockDistribution(m=m, d=d)
+        self.A = A0.copy()
+        if compute_eigenvectors:
+            self.U: Optional[np.ndarray] = np.broadcast_to(
+                np.eye(m), (num, m, m)).copy()
+        else:
+            self.U = None
+        self.layout = default_layout(d)
+
+    def run_sweep(self, schedule: SweepSchedule,
+                  stats: RotationStats) -> None:
+        A, U, dist = self.A, self.U, self.dist
+        for ii, jj in intra_block_rounds(dist):
+            stats.merge(rotate_pairs(A, U, ii, jj))
+        if schedule.d == 0:
+            for ii, jj in pairing_step_rounds(dist, self.layout):
+                stats.merge(rotate_pairs(A, U, ii, jj))
+            return
+        for t in schedule:
+            for ii, jj in pairing_step_rounds(dist, self.layout):
+                stats.merge(rotate_pairs(A, U, ii, jj))
+            self.layout = apply_transition(self.layout, t.link, t.kind)
+
+    def canonical(self) -> np.ndarray:
+        """The iterate in canonical column order, C-contiguous per slice."""
+        return self.A
+
+    def extract_u(self, positions: np.ndarray) -> Optional[np.ndarray]:
+        """Canonical accumulated transformations of given batch positions."""
+        return None if self.U is None else self.U[positions]
+
+    def compact(self, keep: np.ndarray) -> None:
+        """Shrink the batch to the matrices flagged in ``keep``."""
+        self.A = np.ascontiguousarray(self.A[keep])
+        if self.U is not None:
+            self.U = np.ascontiguousarray(self.U[keep])
+
+
+class _SplitBackend:
+    """Fast batch backend for balanced distributions: split planes.
+
+    Stores the machine's stationary and moving blocks as two contiguous
+    planes of shape ``(B, V, b, m)`` — ``plane[:, v, i]`` is column ``i``
+    of the block resident at node ``v`` in that slot, stored as a
+    contiguous row (transposed layout).  With every block the same size:
+
+    * a cross-block pairing round ``t`` pairs stationary column ``i``
+      with moving column ``(i + t) % b`` — a cyclic shift of the moving
+      plane, no index gathers;
+    * a transition moves whole half-planes between subcubes — two slice
+      swaps;
+    * the intra-block round-robin rounds gather contiguous rows.
+
+    The transposed layout keeps each dot-product reduction contracting a
+    unit-stride axis, which makes NumPy's einsum use the same inner
+    kernel (same summation order) as the sequential solver's gathered
+    column pairs — the root of the engine's bit-for-bit equivalence.
+    """
+
+    def __init__(self, A0: np.ndarray, d: int,
+                 compute_eigenvectors: bool) -> None:
+        num, m = A0.shape[0], A0.shape[1]
+        self.dist = BlockDistribution(m=m, d=d)
+        if not self.dist.is_balanced:
+            raise SimulationError("_SplitBackend requires balanced blocks")
+        self.num, self.m = num, m
+        self.V = 1 << d
+        self.b = m // self.dist.num_blocks
+        self.stat, self.mov = self._split(A0)
+        if compute_eigenvectors:
+            eye = np.broadcast_to(np.eye(m), (num, m, m))
+            self.ustat, self.umov = self._split(eye)
+        else:
+            self.ustat = self.umov = None
+        self.layout = default_layout(d)
+        self._alloc_buffers()
+
+    def _split(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Canonical ``(B, m, m)`` -> (stationary, moving) planes."""
+        num, m, V, b = X.shape[0], self.m, self.V, self.b
+        XT = np.ascontiguousarray(np.transpose(X, (0, 2, 1)))
+        view = XT.reshape(num, V, 2, b, m)
+        return (np.ascontiguousarray(view[:, :, 0]),
+                np.ascontiguousarray(view[:, :, 1]))
+
+    def _alloc_buffers(self) -> None:
+        shape = (self.num, self.V, self.b, self.m)
+        self._t1 = np.empty(shape)
+        self._t2 = np.empty(shape)
+        self._rr = np.empty(shape)
+        self._urr = np.empty(shape) if self.ustat is not None else None
+
+    @staticmethod
+    def _roll_in(src: np.ndarray, t: int, out: np.ndarray) -> None:
+        """``out[..., i, :] = src[..., (i + t) % b, :]``."""
+        out[:, :, :src.shape[2] - t] = src[:, :, t:]
+        out[:, :, src.shape[2] - t:] = src[:, :, :t]
+
+    @staticmethod
+    def _roll_back(src: np.ndarray, t: int, out: np.ndarray) -> None:
+        """``out[..., (i + t) % b, :] = src[..., i, :]``."""
+        out[:, :, t:] = src[:, :, :src.shape[2] - t]
+        out[:, :, :t] = src[:, :, src.shape[2] - t:]
+
+    # ------------------------------------------------------------------
+    def _rotate_chunk_rows(self, plane: np.ndarray,
+                           uplane: Optional[np.ndarray],
+                           li: np.ndarray, ri: np.ndarray,
+                           stats: RotationStats) -> None:
+        """Rotate row pairs ``(li[k], ri[k])`` within every chunk of one
+        plane (the intra-block pairing rounds)."""
+        if li.size == 0:
+            return
+        Ai = plane[:, :, li, :]
+        Aj = plane[:, :, ri, :]
+        a = np.einsum("bvkm,bvkm->bvk", Ai, Ai)
+        b_ = np.einsum("bvkm,bvkm->bvk", Aj, Aj)
+        g = np.einsum("bvkm,bvkm->bvk", Ai, Aj)
+        c, s, applied = rotation_angles(a, b_, g, DEFAULT_PAIR_TOL)
+        stats.merge(RotationStats(
+            pairs_seen=int(li.size) * self.V * self.num,
+            rotations_applied=int(applied.sum())))
+        if not applied.any():
+            return
+        cb = c[..., None]
+        sb = s[..., None]
+        plane[:, :, li, :] = cb * Ai - sb * Aj
+        plane[:, :, ri, :] = sb * Ai + cb * Aj
+        if uplane is not None:
+            Ui = uplane[:, :, li, :]
+            Uj = uplane[:, :, ri, :]
+            uplane[:, :, li, :] = cb * Ui - sb * Uj
+            uplane[:, :, ri, :] = sb * Ui + cb * Uj
+
+    def _cross_round(self, t: int, stats: RotationStats) -> None:
+        """Round ``t`` of a pairing step: stationary column ``i`` against
+        moving column ``(i + t) % b`` at every node (the balanced
+        :func:`~repro.jacobi.blocks.cross_block_rounds` coverage)."""
+        L, R = self.stat, self.mov
+        if t:
+            Rr = self._rr
+            self._roll_in(R, t, Rr)
+        else:
+            Rr = R
+        a = np.einsum("bvcm,bvcm->bvc", L, L)
+        b_ = np.einsum("bvcm,bvcm->bvc", Rr, Rr)
+        g = np.einsum("bvcm,bvcm->bvc", L, Rr)
+        c, s, applied = rotation_angles(a, b_, g, DEFAULT_PAIR_TOL)
+        stats.merge(RotationStats(
+            pairs_seen=self.V * self.b * self.num,
+            rotations_applied=int(applied.sum())))
+        if not applied.any():
+            return
+        cb = c[..., None]
+        sb = s[..., None]
+        self._rotate_planes(L, R, Rr, cb, sb, t, self._rr)
+        if self.ustat is not None:
+            UL, UR = self.ustat, self.umov
+            if t:
+                URr = self._urr
+                self._roll_in(UR, t, URr)
+            else:
+                URr = UR
+            self._rotate_planes(UL, UR, URr, cb, sb, t, self._urr)
+
+    def _rotate_planes(self, L: np.ndarray, R: np.ndarray, Rr: np.ndarray,
+                       cb: np.ndarray, sb: np.ndarray, t: int,
+                       rbuf: np.ndarray) -> None:
+        """In-place ``L' = c L - s Rr`` and (rolled back into ``R``)
+        ``Rr' = s L + c Rr`` — the same elementwise expressions as
+        :func:`~repro.jacobi.rotations.rotate_pairs`, through buffers."""
+        T1, T2 = self._t1, self._t2
+        np.multiply(sb, L, out=T1)       # s * L      (old L)
+        np.multiply(L, cb, out=L)        # c * L
+        np.multiply(cb, Rr, out=T2)      # c * Rr
+        np.multiply(sb, Rr, out=rbuf)    # s * Rr  (in place when t > 0)
+        np.subtract(L, rbuf, out=L)      # L' = c L - s Rr
+        np.add(T1, T2, out=T1)           # Rr' = s L + c Rr
+        if t:
+            self._roll_back(T1, t, R)
+        else:
+            R[...] = T1
+
+    def _transition(self, link: int, kind: TransitionKind) -> None:
+        """Physically move half-planes so that the (stationary, moving)
+        plane invariant survives the transition; the logical block ids
+        follow via :func:`~repro.orderings.validate.apply_transition`."""
+        self.layout = apply_transition(self.layout, link, kind)
+        num, V, b, m = self.num, self.V, self.b, self.m
+        low = 1 << link
+        groups = V >> (link + 1)
+        shape = (num, groups, 2, low, b, m)
+        planes = [(self.stat, self.mov)]
+        if self.ustat is not None:
+            planes.append((self.ustat, self.umov))
+        for stat, mov in planes:
+            Sg = stat.reshape(shape)
+            Mg = mov.reshape(shape)
+            if kind in (TransitionKind.EXCHANGE, TransitionKind.LAST):
+                tmp = Mg[:, :, 0].copy()
+                Mg[:, :, 0] = Mg[:, :, 1]
+                Mg[:, :, 1] = tmp
+            elif kind is TransitionKind.DIVISION:
+                # lower nodes' moving slot <- upper partners' stationary
+                # block; upper nodes' stationary slot <- lower partners'
+                # moving block (the recursive split).
+                tmp = Mg[:, :, 0].copy()
+                Mg[:, :, 0] = Sg[:, :, 1]
+                Sg[:, :, 1] = tmp
+            else:  # pragma: no cover - exhaustive enum
+                raise SimulationError(f"unknown transition kind {kind!r}")
+
+    # ------------------------------------------------------------------
+    def run_sweep(self, schedule: SweepSchedule,
+                  stats: RotationStats) -> None:
+        for li, ri in round_robin_rounds(self.b):
+            self._rotate_chunk_rows(self.stat, self.ustat, li, ri, stats)
+            self._rotate_chunk_rows(self.mov, self.umov, li, ri, stats)
+        if schedule.d == 0:
+            for t in range(self.b):
+                self._cross_round(t, stats)
+            return
+        for tr in schedule:
+            for t in range(self.b):
+                self._cross_round(t, stats)
+            self._transition(tr.link, tr.kind)
+
+    def _gather_canonical(self, stat: np.ndarray, mov: np.ndarray
+                          ) -> np.ndarray:
+        num, V, b, m = stat.shape[0], self.V, self.b, self.m
+        XT = np.empty((num, m, m))
+        for v in range(V):
+            for slot, plane in ((0, stat), (1, mov)):
+                blk = int(self.layout[v, slot])
+                XT[:, blk * b:(blk + 1) * b, :] = plane[:, v]
+        return np.ascontiguousarray(np.transpose(XT, (0, 2, 1)))
+
+    def canonical(self) -> np.ndarray:
+        """The iterate in canonical column order, C-contiguous per slice."""
+        return self._gather_canonical(self.stat, self.mov)
+
+    def extract_u(self, positions: np.ndarray) -> Optional[np.ndarray]:
+        """Canonical accumulated transformations of given batch positions."""
+        if self.ustat is None:
+            return None
+        # Gather only the requested matrices: extraction happens at every
+        # sweep boundary where something converges, and usually for a
+        # small fraction of the surviving batch.
+        return self._gather_canonical(self.ustat[positions],
+                                      self.umov[positions])
+
+    def compact(self, keep: np.ndarray) -> None:
+        """Shrink the batch to the matrices flagged in ``keep``."""
+        self.stat = np.ascontiguousarray(self.stat[keep])
+        self.mov = np.ascontiguousarray(self.mov[keep])
+        if self.ustat is not None:
+            self.ustat = np.ascontiguousarray(self.ustat[keep])
+            self.umov = np.ascontiguousarray(self.umov[keep])
+        self.num = self.stat.shape[0]
+        self._alloc_buffers()
+
+
+# ----------------------------------------------------------------------
+class BatchedOneSidedJacobi:
+    """One-sided Jacobi over a stack of matrices, one shared schedule.
+
+    Parameters
+    ----------
+    ordering:
+        The Jacobi ordering (fixes ``d`` and the sweep schedules, shared
+        by the whole batch).
+    tol:
+        Scaled-orthogonality stopping tolerance, judged per matrix.
+    max_sweeps:
+        Sweep budget per matrix.
+    cache:
+        Schedule memo; defaults to the process-level
+        :data:`~repro.engine.cache.GLOBAL_SCHEDULE_CACHE`.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.orderings import get_ordering
+    >>> from repro.jacobi import make_symmetric_test_matrix
+    >>> mats = [make_symmetric_test_matrix(16, rng=k) for k in range(4)]
+    >>> engine = BatchedOneSidedJacobi(get_ordering("degree4", 2))
+    >>> res = engine.solve(mats)
+    >>> bool(np.allclose(res.eigenvalues[0], np.linalg.eigh(mats[0])[0]))
+    True
+    """
+
+    def __init__(self, ordering: JacobiOrdering,
+                 tol: float = DEFAULT_TOL,
+                 max_sweeps: int = 60,
+                 cache: Optional[ScheduleCache] = None) -> None:
+        self.ordering = ordering
+        self.tol = float(tol)
+        self.max_sweeps = int(max_sweeps)
+        if self.max_sweeps < 1:
+            raise ConvergenceError("max_sweeps must be >= 1")
+        self.cache = cache if cache is not None else GLOBAL_SCHEDULE_CACHE
+
+    def solve(self, matrices: Union[np.ndarray, Sequence[np.ndarray]],
+              compute_eigenvectors: bool = True,
+              raise_on_no_convergence: bool = True) -> BatchedResult:
+        """Eigen-decompose a batch of symmetric matrices.
+
+        Parameters
+        ----------
+        matrices:
+            ``(B, m, m)`` stack or sequence of ``B`` symmetric ``(m, m)``
+            matrices with ``m >= 2**(d+1)``.
+        compute_eigenvectors:
+            Accumulate ``U`` for every matrix of the batch.
+        raise_on_no_convergence:
+            Raise if any matrix fails to converge within the budget.
+        """
+        A0 = stack_matrices(matrices)
+        num, m = A0.shape[0], A0.shape[1]
+        for k in range(num):
+            Ak = A0[k]
+            if not np.allclose(Ak, Ak.T,
+                               atol=1e-12 * max(1.0, np.abs(Ak).max())):
+                raise SimulationError(
+                    f"one-sided Jacobi requires symmetric matrices "
+                    f"(batch item {k} is not)")
+        d = self.ordering.d
+        dist = BlockDistribution(m=m, d=d)
+        backend_cls = _SplitBackend if dist.is_balanced else _IndexedBackend
+        stats = RotationStats()
+        sweeps = np.zeros(num, dtype=np.int64)
+        converged = np.ones(num, dtype=bool)
+        off_history: List[List[float]] = [[] for _ in range(num)]
+        final_A = np.empty((num, m, m))
+        final_U = (np.empty((num, m, m)) if compute_eigenvectors else None)
+        # Matrices already orthogonal at entry converge at sweep 0, like
+        # the sequential solver's pre-loop check.
+        initial_off = np.array([offdiag_measure(A0[k]) for k in range(num)])
+        alive = np.flatnonzero(initial_off > self.tol)
+        for k in np.flatnonzero(initial_off <= self.tol):
+            final_A[k] = A0[k]
+            if final_U is not None:
+                final_U[k] = np.eye(m)
+        backend = (backend_cls(A0[alive], d, compute_eigenvectors)
+                   if alive.size else None)
+        sweep_index = 0
+        while alive.size and sweep_index < self.max_sweeps:
+            schedule = self.cache.get_schedule(self.ordering,
+                                               sweep=sweep_index)
+            backend.run_sweep(schedule, stats)
+            sweep_index += 1
+            Acan = backend.canonical()
+            offs = np.array([offdiag_measure(Acan[p])
+                             for p in range(alive.size)])
+            for pos, k in enumerate(alive):
+                off_history[k].append(float(offs[pos]))
+                sweeps[k] += 1
+            done = offs <= self.tol
+            out_of_budget = sweep_index >= self.max_sweeps
+            if done.any() or out_of_budget:
+                take = (np.arange(alive.size) if out_of_budget
+                        else np.flatnonzero(done))
+                Ucan = backend.extract_u(take)
+                for idx, pos in enumerate(take):
+                    k = int(alive[pos])
+                    final_A[k] = Acan[pos]
+                    if final_U is not None:
+                        final_U[k] = Ucan[idx]
+                if out_of_budget:
+                    converged[alive[~done]] = False
+                alive = alive[~done]
+                if alive.size and not out_of_budget:
+                    backend.compact(~done)
+        if not converged.all() and raise_on_no_convergence:
+            bad = np.flatnonzero(~converged)
+            worst = max(off_history[k][-1] for k in bad)
+            raise ConvergenceError(
+                f"{bad.size} of {num} matrices did not converge in "
+                f"{self.max_sweeps} sweeps (indices {bad.tolist()[:8]}, "
+                f"worst defect {worst:.3e})",
+                sweeps=self.max_sweeps, off_norm=worst)
+        lam = np.empty((num, m))
+        if final_U is None:
+            for k in range(num):
+                lam[k] = np.sort(np.sqrt(
+                    np.einsum("ij,ij->j", final_A[k], final_A[k])))
+            vec = np.empty((num, m, 0))
+        else:
+            vec = np.empty((num, m, m))
+            for k in range(num):
+                # Same per-matrix extraction call as the sequential path,
+                # on the same C-ordered 2-D data — bit-identical pairs.
+                lam[k], vec[k] = extract_eigenpairs(final_A[k], final_U[k])
+        return BatchedResult(eigenvalues=lam, eigenvectors=vec,
+                             sweeps=sweeps, converged=converged,
+                             off_history=off_history, stats=stats)
+
+    def count_sweeps(self, matrices: Union[np.ndarray, Sequence[np.ndarray]]
+                     ) -> np.ndarray:
+        """Per-matrix sweeps to convergence (eigenvectors accumulated, as
+        the real algorithm would) — the batched Table-2 primitive."""
+        return self.solve(matrices).sweeps

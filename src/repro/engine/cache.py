@@ -1,0 +1,149 @@
+"""Process-level memo of built sweep schedules and ordering sequences.
+
+Monte-Carlo ensembles (Table 2, the convergence studies) solve thousands
+of eigenproblems over a handful of distinct ``(ordering, d)``
+configurations; rebuilding and re-validating the :class:`SweepSchedule`
+for every sweep of every solve is pure overhead.  :class:`ScheduleCache`
+memoises
+
+* ``(ordering family, d, sweep) -> SweepSchedule`` and
+* ``(ordering family, d) -> the full tuple of phase sequences D_e``,
+
+so repeated configurations never rebuild them.  Cached objects are
+immutable (frozen dataclasses holding tuples), which is what makes the
+sharing safe: a caller cannot mutate a returned schedule and poison later
+lookups — the property tests assert exactly this.
+
+Only orderings constructed from the registry are cached (their phase
+sequences are pure functions of ``(name, d)``).  A
+:class:`~repro.orderings.base.CustomOrdering` carries user-supplied
+sequences under an arbitrary display name, so two distinct custom
+orderings could share a key; those are built fresh on every call instead.
+
+A module-level :data:`GLOBAL_SCHEDULE_CACHE` serves the common case; the
+batched engine and the ensemble runner use it by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..orderings.base import JacobiOrdering, _REGISTRY
+from ..orderings.sweep import SweepSchedule, build_sweep_schedule
+
+__all__ = [
+    "CacheInfo",
+    "ScheduleCache",
+    "GLOBAL_SCHEDULE_CACHE",
+    "get_schedule",
+    "get_phase_sequences",
+]
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Counters of a :class:`ScheduleCache` (mirrors ``functools``)."""
+
+    hits: int
+    misses: int
+    size: int
+
+
+class ScheduleCache:
+    """Memo of built :class:`SweepSchedule` objects and phase sequences.
+
+    Examples
+    --------
+    >>> from repro.orderings import get_ordering
+    >>> cache = ScheduleCache()
+    >>> s1 = cache.get_schedule(get_ordering("br", 3), sweep=0)
+    >>> s2 = cache.get_schedule(get_ordering("br", 3), sweep=0)
+    >>> s1 is s2
+    True
+    """
+
+    def __init__(self) -> None:
+        # Keyed by the ordering *class* (not just its name): re-registering
+        # a name via ``register_ordering`` must not serve schedules built
+        # from the replaced family.
+        self._schedules: Dict[Tuple[type, int, int], SweepSchedule] = {}
+        self._sequences: Dict[Tuple[type, int],
+                              Tuple[Tuple[int, ...], ...]] = {}
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def is_cacheable(ordering: JacobiOrdering) -> bool:
+        """True when the ordering's schedules are a pure function of
+        ``(name, d)`` — i.e. it is exactly the registry family of its
+        name, not a custom/user-parameterised instance."""
+        return _REGISTRY.get(ordering.name) is type(ordering)
+
+    def get_schedule(self, ordering: JacobiOrdering,
+                     sweep: int = 0) -> SweepSchedule:
+        """The transition schedule of ``sweep`` for ``ordering``, cached.
+
+        Semantically identical to ``ordering.sweep_schedule(sweep)``; the
+        returned object is shared between callers and immutable.
+        """
+        if not self.is_cacheable(ordering):
+            return build_sweep_schedule(ordering, sweep=sweep)
+        key = (type(ordering), ordering.d, int(sweep))
+        hit = self._schedules.get(key)
+        if hit is not None:
+            self._hits += 1
+            return hit
+        self._misses += 1
+        schedule = build_sweep_schedule(ordering, sweep=sweep)
+        self._schedules[key] = schedule
+        return schedule
+
+    def get_phase_sequences(self, ordering: JacobiOrdering
+                            ) -> Tuple[Tuple[int, ...], ...]:
+        """All phase sequences ``(D_1, ..., D_d)`` of an ordering, cached."""
+        if not self.is_cacheable(ordering):
+            return tuple(ordering.phase_sequence(e)
+                         for e in range(1, ordering.d + 1))
+        key = (type(ordering), ordering.d)
+        hit = self._sequences.get(key)
+        if hit is not None:
+            self._hits += 1
+            return hit
+        self._misses += 1
+        seqs = tuple(tuple(ordering.phase_sequence(e))
+                     for e in range(1, ordering.d + 1))
+        self._sequences[key] = seqs
+        return seqs
+
+    # ------------------------------------------------------------------
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss counters and the number of memoised entries."""
+        return CacheInfo(hits=self._hits, misses=self._misses,
+                         size=len(self._schedules) + len(self._sequences))
+
+    def clear(self) -> None:
+        """Drop every memoised entry and reset the counters."""
+        self._schedules.clear()
+        self._sequences.clear()
+        self._hits = 0
+        self._misses = 0
+
+
+#: Shared process-level cache used by the batched engine and the ensemble
+#: runner (and available to any other schedule consumer).
+GLOBAL_SCHEDULE_CACHE = ScheduleCache()
+
+
+def get_schedule(ordering: JacobiOrdering, sweep: int = 0,
+                 cache: Optional[ScheduleCache] = None) -> SweepSchedule:
+    """Module-level convenience over :data:`GLOBAL_SCHEDULE_CACHE`."""
+    return (cache or GLOBAL_SCHEDULE_CACHE).get_schedule(ordering, sweep)
+
+
+def get_phase_sequences(ordering: JacobiOrdering,
+                        cache: Optional[ScheduleCache] = None
+                        ) -> Tuple[Tuple[int, ...], ...]:
+    """Module-level convenience over :data:`GLOBAL_SCHEDULE_CACHE`."""
+    return (cache or GLOBAL_SCHEDULE_CACHE).get_phase_sequences(ordering)

@@ -1,0 +1,161 @@
+"""Ensemble driver: many matrices × many (m, P) configurations.
+
+:func:`run_ensemble` is the single entry point behind every Monte-Carlo
+convergence experiment in the repo — Table 2
+(:mod:`repro.analysis.table2`), the convergence-robustness study and
+``examples/convergence_study.py`` all call it.  It generates the seeded
+matrix ensembles (every ordering sees the same matrices, exactly the
+streams the sequential Table-2 driver always used) and dispatches each
+configuration to one of two engines:
+
+* ``engine="batched"`` (default) — one
+  :class:`~repro.engine.batched.BatchedOneSidedJacobi` solve per
+  ``(config, ordering)``: the whole ensemble rides a shared sweep
+  schedule in a handful of large NumPy calls.
+* ``engine="sequential"`` — the historical loop of per-matrix
+  :class:`~repro.jacobi.parallel.ParallelOneSidedJacobi` solves.
+
+The two are bit-identical in eigenvalues and sweep counts (asserted by
+the equivalence tests), so the engine choice is purely a performance
+knob; ``benchmarks/test_bench_engine.py`` tracks the speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..jacobi.convergence import DEFAULT_TOL
+from ..jacobi.onesided import make_symmetric_test_matrix
+from ..jacobi.parallel import ParallelOneSidedJacobi
+from ..orderings.base import get_ordering
+from .batched import BatchedOneSidedJacobi
+from .cache import GLOBAL_SCHEDULE_CACHE, ScheduleCache
+
+__all__ = [
+    "ENGINES",
+    "ENSEMBLE_ORDERINGS",
+    "EnsembleConfigResult",
+    "generate_ensemble",
+    "run_ensemble",
+]
+
+#: Engines understood by :func:`run_ensemble`.
+ENGINES: Tuple[str, ...] = ("sequential", "batched")
+
+#: The ordering families compared by the paper's convergence experiment,
+#: in Table 2's column order.
+ENSEMBLE_ORDERINGS: Tuple[str, ...] = ("br", "permuted-br", "degree4")
+
+
+@dataclass(frozen=True)
+class EnsembleConfigResult:
+    """Per-matrix sweep counts of one (m, P) configuration.
+
+    Attributes
+    ----------
+    m:
+        Matrix dimension.
+    P:
+        Number of processors (``2**d``).
+    sweeps:
+        Ordering name -> ``(num_matrices,)`` int array of sweeps to
+        convergence, matrix-aligned across orderings (matrix ``k`` is the
+        same matrix in every array).
+    """
+
+    m: int
+    P: int
+    sweeps: Dict[str, np.ndarray]
+
+    def mean_sweeps(self) -> Dict[str, float]:
+        """Mean sweep count per ordering (a Table-2 row's payload)."""
+        return {name: float(np.mean(counts))
+                for name, counts in self.sweeps.items()}
+
+    def spread(self) -> float:
+        """``max - min`` of the per-ordering means (the paper's claim is
+        that this is small)."""
+        means = list(self.mean_sweeps().values())
+        return max(means) - min(means)
+
+
+def _check_config(m: int, P: int) -> int:
+    d = int(P).bit_length() - 1
+    if (1 << d) != P:
+        raise ValueError(f"P={P} is not a power of two")
+    return d
+
+
+def generate_ensemble(m: int, P: int, num_matrices: int,
+                      seed: int) -> np.ndarray:
+    """The seeded ``(num_matrices, m, m)`` test ensemble of one config.
+
+    Matches the historical Table-2 streams exactly: an independent
+    ``default_rng((seed, m, P))`` per configuration, matrices drawn in
+    order, entries uniform in ``[-1, 1]`` and symmetrised.
+    """
+    _check_config(m, P)
+    rng = np.random.default_rng((seed, m, P))
+    return np.stack([make_symmetric_test_matrix(m, rng)
+                     for _ in range(num_matrices)])
+
+
+def run_ensemble(configs: Sequence[Tuple[int, int]],
+                 num_matrices: int = 30,
+                 seed: int = 1998,
+                 tol: float = DEFAULT_TOL,
+                 orderings: Sequence[str] = ENSEMBLE_ORDERINGS,
+                 engine: str = "batched",
+                 max_sweeps: int = 60,
+                 cache: Optional[ScheduleCache] = None
+                 ) -> List[EnsembleConfigResult]:
+    """Sweeps-to-convergence of seeded random ensembles per (m, P).
+
+    Parameters
+    ----------
+    configs:
+        ``(m, P)`` pairs; ``P`` must be a power of two.
+    num_matrices:
+        Matrices per configuration (the paper used 30).
+    seed:
+        Base RNG seed; every configuration uses an independent seeded
+        stream, and *all orderings see the same matrices*.
+    tol:
+        Convergence tolerance of the sweep loop.
+    orderings:
+        Ordering family names to compare.
+    engine:
+        ``"batched"`` (default) or ``"sequential"`` — bit-identical
+        results, very different wall clock.
+    max_sweeps:
+        Per-matrix sweep budget.
+    cache:
+        Schedule memo for the batched engine (defaults to the process
+        cache).
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")
+    cache = cache if cache is not None else GLOBAL_SCHEDULE_CACHE
+    results: List[EnsembleConfigResult] = []
+    for m, P in configs:
+        d = _check_config(m, P)
+        matrices = generate_ensemble(m, P, num_matrices, seed)
+        sweeps: Dict[str, np.ndarray] = {}
+        for name in orderings:
+            ordering = get_ordering(name, d)
+            if engine == "batched":
+                solver = BatchedOneSidedJacobi(ordering, tol=tol,
+                                               max_sweeps=max_sweeps,
+                                               cache=cache)
+                sweeps[name] = solver.count_sweeps(matrices)
+            else:
+                seq = ParallelOneSidedJacobi(ordering, tol=tol,
+                                             max_sweeps=max_sweeps)
+                sweeps[name] = np.array([seq.solve(A).sweeps
+                                         for A in matrices],
+                                        dtype=np.int64)
+        results.append(EnsembleConfigResult(m=m, P=P, sweeps=sweeps))
+    return results

@@ -34,6 +34,8 @@ __all__ = [
     "BlockDistribution",
     "round_robin_rounds",
     "cross_block_rounds",
+    "pairing_step_rounds",
+    "intra_block_rounds",
 ]
 
 
@@ -159,3 +161,81 @@ class BlockDistribution:
     def columns_of_blocks(self) -> List[np.ndarray]:
         """Column index arrays for all blocks, in block order."""
         return [self.block_columns(k) for k in range(self.num_blocks)]
+
+
+def pairing_step_rounds(dist: BlockDistribution, layout: np.ndarray
+                        ) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Global column-index rounds of one cross-block pairing step.
+
+    Given the block layout (``layout[v] = (stationary, moving)`` block of
+    node ``v``), returns the machine-wide disjoint column pairs of each
+    round: every node rotates all pairs across its two resident blocks.
+    Both the sequential solver and the batched engine consume exactly
+    these rounds, which is what keeps their results bit-identical.
+    """
+    starts = dist.starts
+    left_blocks = layout[:, 0]
+    right_blocks = layout[:, 1]
+    out: List[Tuple[np.ndarray, np.ndarray]] = []
+    if dist.is_balanced:
+        b = dist.m // dist.num_blocks
+        rounds = cross_block_rounds(b, b)
+        l0 = starts[left_blocks][:, None]   # (nodes, 1)
+        r0 = starts[right_blocks][:, None]
+        for li, ri in rounds:
+            out.append(((l0 + li[None, :]).ravel(),
+                        (r0 + ri[None, :]).ravel()))
+        return out
+    # Uneven blocks: per-node round shapes differ; build each round's
+    # global index lists explicitly.
+    sizes = np.diff(starts)
+    max_b = int(sizes.max())
+    for t in range(max_b):
+        ii_all: List[np.ndarray] = []
+        jj_all: List[np.ndarray] = []
+        for v in range(layout.shape[0]):
+            b1 = int(sizes[left_blocks[v]])
+            b2 = int(sizes[right_blocks[v]])
+            n = max(b1, b2)
+            if t >= n:
+                continue
+            i = np.arange(n, dtype=np.intp)
+            j = (i + t) % n
+            mask = (i < b1) & (j < b2)
+            ii_all.append(starts[left_blocks[v]] + i[mask])
+            jj_all.append(starts[right_blocks[v]] + j[mask])
+        if ii_all:
+            out.append((np.concatenate(ii_all), np.concatenate(jj_all)))
+    return out
+
+
+def intra_block_rounds(dist: BlockDistribution
+                       ) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Global column-index rounds of the intra-block pairing step.
+
+    The step "1)" of the paper's algorithm pairs all columns *within*
+    each block once per sweep (no communication); the rounds returned
+    here cover all blocks simultaneously with disjoint pairs.
+    """
+    starts = dist.starts
+    sizes = np.diff(starts)
+    out: List[Tuple[np.ndarray, np.ndarray]] = []
+    if dist.is_balanced:
+        b = int(sizes[0])
+        base = starts[:-1][:, None]
+        for left, right in round_robin_rounds(b):
+            out.append(((base + left[None, :]).ravel(),
+                        (base + right[None, :]).ravel()))
+        return out
+    max_rounds = len(round_robin_rounds(int(sizes.max())))
+    per_block = [round_robin_rounds(int(s)) for s in sizes]
+    for r in range(max_rounds):
+        ii_all: List[np.ndarray] = []
+        jj_all: List[np.ndarray] = []
+        for k, rounds in enumerate(per_block):
+            if r < len(rounds):
+                ii_all.append(starts[k] + rounds[r][0])
+                jj_all.append(starts[k] + rounds[r][1])
+        if ii_all:
+            out.append((np.concatenate(ii_all), np.concatenate(jj_all)))
+    return out

@@ -29,7 +29,7 @@ from ..orderings.base import JacobiOrdering
 from ..orderings.sweep import SweepSchedule, TransitionKind
 from ..orderings.validate import apply_transition, default_layout
 from ..simulator.trace import CommunicationTrace
-from .blocks import BlockDistribution, cross_block_rounds, round_robin_rounds
+from .blocks import BlockDistribution, intra_block_rounds, pairing_step_rounds
 from .convergence import DEFAULT_TOL, extract_eigenpairs, offdiag_measure
 from .rotations import RotationStats, rotate_pairs
 
@@ -107,70 +107,16 @@ class ParallelOneSidedJacobi:
                      stats: RotationStats) -> None:
         """One pairing step: every node rotates all pairs across its two
         resident blocks, in rounds of machine-wide disjoint pairs."""
-        starts = dist.starts
-        left_blocks = layout[:, 0]
-        right_blocks = layout[:, 1]
-        if dist.is_balanced:
-            b = dist.m // dist.num_blocks
-            rounds = cross_block_rounds(b, b)
-            l0 = starts[left_blocks][:, None]   # (nodes, 1)
-            r0 = starts[right_blocks][:, None]
-            for li, ri in rounds:
-                ii = (l0 + li[None, :]).ravel()
-                jj = (r0 + ri[None, :]).ravel()
-                stats.merge(rotate_pairs(A, U, ii, jj))
-        else:
-            # Uneven blocks: per-node round shapes differ; build each
-            # round's global index lists explicitly.
-            sizes = np.diff(starts)
-            max_b = int(sizes.max())
-            for t in range(max_b):
-                ii_all: List[np.ndarray] = []
-                jj_all: List[np.ndarray] = []
-                for v in range(layout.shape[0]):
-                    b1 = int(sizes[left_blocks[v]])
-                    b2 = int(sizes[right_blocks[v]])
-                    n = max(b1, b2)
-                    if t >= n:
-                        continue
-                    i = np.arange(n, dtype=np.intp)
-                    j = (i + t) % n
-                    mask = (i < b1) & (j < b2)
-                    ii_all.append(starts[left_blocks[v]] + i[mask])
-                    jj_all.append(starts[right_blocks[v]] + j[mask])
-                if ii_all:
-                    stats.merge(rotate_pairs(A, U,
-                                             np.concatenate(ii_all),
-                                             np.concatenate(jj_all)))
+        for ii, jj in pairing_step_rounds(dist, layout):
+            stats.merge(rotate_pairs(A, U, ii, jj))
 
     def _pair_within_blocks(self, A: np.ndarray, U: Optional[np.ndarray],
                             dist: BlockDistribution,
                             stats: RotationStats) -> None:
         """The intra-block pairing performed once per sweep (step "1)" of
         the paper's algorithm) — no communication involved."""
-        starts = dist.starts
-        sizes = np.diff(starts)
-        if dist.is_balanced:
-            b = int(sizes[0])
-            base = starts[:-1][:, None]
-            for left, right in round_robin_rounds(b):
-                ii = (base + left[None, :]).ravel()
-                jj = (base + right[None, :]).ravel()
-                stats.merge(rotate_pairs(A, U, ii, jj))
-        else:
-            max_rounds = len(round_robin_rounds(int(sizes.max())))
-            per_block = [round_robin_rounds(int(s)) for s in sizes]
-            for r in range(max_rounds):
-                ii_all: List[np.ndarray] = []
-                jj_all: List[np.ndarray] = []
-                for k, rounds in enumerate(per_block):
-                    if r < len(rounds):
-                        ii_all.append(starts[k] + rounds[r][0])
-                        jj_all.append(starts[k] + rounds[r][1])
-                if ii_all:
-                    stats.merge(rotate_pairs(A, U,
-                                             np.concatenate(ii_all),
-                                             np.concatenate(jj_all)))
+        for ii, jj in intra_block_rounds(dist):
+            stats.merge(rotate_pairs(A, U, ii, jj))
 
     # ------------------------------------------------------------------
     def run_sweep(self, A: np.ndarray, U: Optional[np.ndarray],

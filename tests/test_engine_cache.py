@@ -1,0 +1,141 @@
+"""Property tests for the schedule cache.
+
+The cache's contract: cached and freshly-built schedules compare equal,
+repeated ``(ordering, d)`` lookups hit the memo, and a caller cannot
+mutate a returned schedule to poison later lookups.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.engine import GLOBAL_SCHEDULE_CACHE, ScheduleCache
+from repro.engine.cache import get_phase_sequences, get_schedule
+from repro.orderings import CustomOrdering, get_ordering
+from repro.orderings.base import registered_orderings
+from repro.orderings.sweep import build_sweep_schedule
+
+
+def _families(d):
+    for name in registered_orderings():
+        if name == "min-alpha" and d > 6:
+            continue
+        yield get_ordering(name, d)
+
+
+class TestCachedEqualsFresh:
+    @pytest.mark.parametrize("d", (0, 1, 2, 3, 4))
+    @pytest.mark.parametrize("sweep", (0, 1, 3))
+    def test_schedule_equals_fresh_build(self, d, sweep):
+        cache = ScheduleCache()
+        for ordering in _families(d):
+            cached = cache.get_schedule(ordering, sweep=sweep)
+            fresh = build_sweep_schedule(ordering, sweep=sweep)
+            assert cached == fresh
+            assert cached.links() == fresh.links()
+
+    def test_phase_sequences_equal_fresh(self):
+        cache = ScheduleCache()
+        for ordering in _families(4):
+            cached = cache.get_phase_sequences(ordering)
+            fresh = tuple(ordering.phase_sequence(e) for e in range(1, 5))
+            assert cached == fresh
+
+
+class TestCacheHits:
+    def test_repeated_lookup_hits_and_shares(self):
+        cache = ScheduleCache()
+        first = cache.get_schedule(get_ordering("br", 3), sweep=0)
+        assert cache.cache_info().misses == 1
+        # a *different instance* of the same family must hit the memo
+        second = cache.get_schedule(get_ordering("br", 3), sweep=0)
+        assert second is first
+        info = cache.cache_info()
+        assert info.hits == 1 and info.misses == 1 and info.size == 1
+
+    def test_distinct_keys_do_not_collide(self):
+        cache = ScheduleCache()
+        keys = [("br", 2, 0), ("br", 2, 1), ("br", 3, 0),
+                ("degree4", 2, 0)]
+        scheds = [cache.get_schedule(get_ordering(n, d), sweep=s)
+                  for n, d, s in keys]
+        assert cache.cache_info().misses == len(keys)
+        assert len({id(s) for s in scheds}) == len(keys)
+        for (n, d, s), sched in zip(keys, scheds):
+            assert sched.ordering_name == n
+            assert sched.d == d
+            assert sched.sweep == s
+
+    def test_clear_resets(self):
+        cache = ScheduleCache()
+        cache.get_schedule(get_ordering("br", 2))
+        cache.get_schedule(get_ordering("br", 2))
+        cache.clear()
+        info = cache.cache_info()
+        assert info == dataclasses.replace(info, hits=0, misses=0, size=0)
+
+    def test_global_cache_exists_and_serves(self):
+        s = get_schedule(get_ordering("permuted-br", 3), sweep=2)
+        assert s == build_sweep_schedule(get_ordering("permuted-br", 3),
+                                         sweep=2)
+        seqs = get_phase_sequences(get_ordering("permuted-br", 3))
+        assert len(seqs) == 3
+        assert GLOBAL_SCHEDULE_CACHE.cache_info().size >= 1
+
+
+class TestMutationSafety:
+    def test_schedule_is_immutable(self):
+        cache = ScheduleCache()
+        sched = cache.get_schedule(get_ordering("br", 3))
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            sched.d = 99
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            sched.transitions = ()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            sched.transitions[0].link = 5
+        # transitions are a tuple: no item assignment possible
+        with pytest.raises(TypeError):
+            sched.transitions[0] = None
+
+    def test_cache_survives_mutation_attempts(self):
+        cache = ScheduleCache()
+        sched = cache.get_schedule(get_ordering("degree4", 3))
+        for mutate in (lambda: setattr(sched, "sweep", 7),
+                       lambda: sched.transitions.__setitem__(0, None)):
+            with pytest.raises(Exception):
+                mutate()
+        again = cache.get_schedule(get_ordering("degree4", 3))
+        assert again == build_sweep_schedule(get_ordering("degree4", 3))
+
+    def test_phase_sequences_are_tuples(self):
+        cache = ScheduleCache()
+        seqs = cache.get_phase_sequences(get_ordering("br", 3))
+        assert isinstance(seqs, tuple)
+        assert all(isinstance(s, tuple) for s in seqs)
+
+
+class TestCustomOrderingsNotCached:
+    def test_custom_orderings_cannot_poison_each_other(self):
+        # two *different* custom orderings under the same display name:
+        # caching them by name would serve one the other's schedules
+        br = {e: get_ordering("br", 3).phase_sequence(e)
+              for e in range(1, 4)}
+        pbr = {e: get_ordering("permuted-br", 3).phase_sequence(e)
+               for e in range(1, 4)}
+        c1 = CustomOrdering(3, br, name="mine")
+        c2 = CustomOrdering(3, pbr, name="mine")
+        cache = ScheduleCache()
+        assert not cache.is_cacheable(c1)
+        s1 = cache.get_schedule(c1, sweep=0)
+        s2 = cache.get_schedule(c2, sweep=0)
+        assert s1 == build_sweep_schedule(c1, sweep=0)
+        assert s2 == build_sweep_schedule(c2, sweep=0)
+        assert s1 != s2
+        assert cache.cache_info().size == 0
+
+    def test_registry_families_are_cacheable(self):
+        cache = ScheduleCache()
+        for name in registered_orderings():
+            assert cache.is_cacheable(get_ordering(name, 3))

@@ -1,0 +1,100 @@
+"""Golden regression tests: pin the paper's reproduced numbers.
+
+These values are the library's current, verified outputs.  They are
+pinned exactly so that future refactors (new engines, kernel rewrites,
+schedule changes) cannot silently drift the reproduction: if one of
+these fails, either a bug was introduced or the numerics changed — both
+must be a conscious decision, not an accident.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.table1 import compute_table1
+from repro.analysis.table2 import compute_table2
+from repro.orderings import get_ordering
+from repro.orderings.base import registered_orderings
+from repro.orderings.sweep import sweep_length
+
+#: alpha(D_e^{p-BR}) and the lower bound ceil((2**e - 1)/e) of this
+#: implementation for the paper's Table-1 range e = 7..14.
+GOLDEN_TABLE1 = {
+    7: (26, 19),
+    8: (56, 32),
+    9: (68, 57),
+    10: (144, 103),
+    11: (260, 187),
+    12: (544, 342),
+    13: (848, 631),
+    14: (1856, 1171),
+}
+
+#: Mean sweeps to convergence of the seeded (m=16, P=4) ensemble
+#: (5 matrices, seed 1998, tol 1e-9) per ordering.
+GOLDEN_TABLE2_M16_P4 = {"br": 6.8, "permuted-br": 6.8, "degree4": 6.8}
+
+#: Same for the (m=32, P=8) configuration.
+GOLDEN_TABLE2_M32_P8 = {"br": 8.0, "permuted-br": 8.0, "degree4": 8.0}
+
+
+class TestGoldenTable1:
+    def test_pinned_alphas(self):
+        rows = compute_table1()
+        got = {r.e: (r.alpha, r.lower_bound) for r in rows}
+        assert got == GOLDEN_TABLE1
+
+    def test_alpha_never_below_bound(self):
+        for e, (a, lb) in GOLDEN_TABLE1.items():
+            assert a >= lb
+
+
+class TestGoldenScheduleLengths:
+    @pytest.mark.parametrize("d", range(0, 9))
+    def test_sweep_length_formula(self, d):
+        assert sweep_length(d) == 2 ** (d + 1) - 1
+
+    @pytest.mark.parametrize("d", (1, 2, 3, 4, 5))
+    def test_every_family_builds_minimum_length_schedules(self, d):
+        for name in registered_orderings():
+            if name == "min-alpha" and d > 6:
+                continue
+            schedule = get_ordering(name, d).sweep_schedule()
+            assert len(schedule) == 2 ** (d + 1) - 1
+            assert schedule.num_steps == 2 ** (d + 1) - 1
+
+    def test_zero_cube_schedule_is_empty(self):
+        schedule = get_ordering("br", 0).sweep_schedule()
+        assert len(schedule) == 0
+        assert schedule.num_steps == 1  # single pairing step, no comms
+
+
+class TestGoldenTable2:
+    def test_pinned_seeded_row(self):
+        rows = compute_table2(configs=[(16, 4)], num_matrices=5, seed=1998)
+        assert rows[0].sweeps == GOLDEN_TABLE2_M16_P4
+        assert rows[0].spread == 0.0
+
+    def test_pinned_row_engine_independent(self):
+        batched = compute_table2(configs=[(16, 4)], num_matrices=5,
+                                 seed=1998, engine="batched")
+        sequential = compute_table2(configs=[(16, 4)], num_matrices=5,
+                                    seed=1998, engine="sequential")
+        assert batched[0].sweeps == sequential[0].sweeps
+        assert batched[0].sweeps == GOLDEN_TABLE2_M16_P4
+
+    def test_pinned_second_configuration(self):
+        rows = compute_table2(configs=[(32, 8)], num_matrices=5, seed=1998)
+        assert rows[0].sweeps == GOLDEN_TABLE2_M32_P8
+
+    def test_eigenvalues_golden_sample(self):
+        # one seeded eigensolve pinned against LAPACK to full precision
+        from repro.jacobi import (
+            ParallelOneSidedJacobi,
+            make_symmetric_test_matrix,
+        )
+
+        A = make_symmetric_test_matrix(16, rng=1998)
+        res = ParallelOneSidedJacobi(get_ordering("degree4", 2)).solve(A)
+        assert np.abs(res.eigenvalues - np.linalg.eigh(A)[0]).max() < 1e-10
