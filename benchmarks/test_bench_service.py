@@ -1,0 +1,94 @@
+"""Benchmark: sharded service scaling vs single-process batched.
+
+Times :func:`repro.engine.run_ensemble` on the multi-config Table-2 grid
+single-process (``workers=0``) and sharded across worker processes
+(``workers=4`` by default), asserting
+
+* the per-matrix sweep counts are bit-identical, and
+* the sharded run is at least 2x faster wall-clock.
+
+The speedup assertion needs real parallel hardware: it is skipped (after
+printing the measured ratio) when the machine has fewer cores than
+workers, where physics caps the ratio below 1.  The bit-identity check
+always runs.
+
+``REPRO_BENCH_SERVICE_MATRICES`` sizes the fast default run (8; the
+slow-marked paper-scale run uses 30).  ``REPRO_BENCH_SERVICE_WORKERS``
+sets the worker count (default 4) and ``REPRO_BENCH_SERVICE_MIN_SPEEDUP``
+overrides the required speedup (default 2.0) for heavily-shared CI
+runners — deliberately a different variable from the engine benchmark's
+``REPRO_BENCH_MIN_SPEEDUP`` so relaxing one floor never weakens the
+other.
+
+Run::
+
+    pytest benchmarks/test_bench_service.py -s
+    pytest benchmarks/test_bench_service.py -s -m slow   # paper scale
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.table2 import default_configs
+from repro.engine import run_ensemble
+
+#: Required advantage of the 4-worker sharded run over single-process
+#: batched on the multi-config Table-2 grid.
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_SERVICE_MIN_SPEEDUP",
+                                   "2.0"))
+WORKERS = int(os.environ.get("REPRO_BENCH_SERVICE_WORKERS", "4"))
+
+
+def _assert_identical(single, sharded):
+    for a, b in zip(single, sharded):
+        for name in a.sweeps:
+            assert np.array_equal(a.sweeps[name], b.sweeps[name]), \
+                f"sweep counts diverged at (m={a.m}, P={a.P}, {name})"
+
+
+def _time_service(num_matrices: int):
+    configs = default_configs()
+    t0 = time.perf_counter()
+    single = run_ensemble(configs, num_matrices=num_matrices, seed=1998)
+    t_single = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    sharded = run_ensemble(configs, num_matrices=num_matrices, seed=1998,
+                           workers=WORKERS)
+    t_sharded = time.perf_counter() - t0
+    _assert_identical(single, sharded)
+    speedup = t_single / t_sharded
+    print(f"\nservice scaling ({num_matrices} matrices/config, "
+          f"{len(configs)} configs, {WORKERS} workers): single-process "
+          f"{t_single:.2f}s, sharded {t_sharded:.2f}s -> {speedup:.2f}x "
+          f"(cores: {os.cpu_count()})")
+    return speedup
+
+
+def _check_speedup(speedup: float) -> None:
+    cores = os.cpu_count() or 1
+    if cores < WORKERS:
+        pytest.skip(
+            f"only {cores} cores for {WORKERS} workers — bit-identity "
+            f"verified, speedup floor needs parallel hardware "
+            f"(measured {speedup:.2f}x)")
+    assert speedup >= MIN_SPEEDUP, (
+        f"sharded service only {speedup:.2f}x faster (< {MIN_SPEEDUP}x) "
+        f"over single-process batched on the Table-2 grid")
+
+
+def test_service_scaling_default_grid():
+    """Sharded workers >= 2x faster than single-process batched on the
+    default config grid, with bit-identical sweep counts."""
+    num = int(os.environ.get("REPRO_BENCH_SERVICE_MATRICES", "8"))
+    _check_speedup(_time_service(num))
+
+
+@pytest.mark.slow
+def test_service_scaling_paper_scale():
+    """Same comparison at the paper's 30 matrices per configuration."""
+    _check_speedup(_time_service(30))

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis.table2 import compute_table2, default_configs, render_table2
+from repro.analysis.table2 import compute_table2, render_table2
 
 
 @pytest.mark.slow

@@ -24,7 +24,7 @@ import argparse
 import numpy as np
 
 from repro import ParallelOneSidedJacobi, get_ordering
-from repro.analysis import render_ascii_chart, render_table
+from repro.analysis import render_ascii_chart
 from repro.analysis.table2 import compute_table2, default_configs, render_table2
 from repro.jacobi import make_symmetric_test_matrix
 

@@ -30,6 +30,9 @@ Package layout
   SPMD eigensolvers.
 * :mod:`repro.engine` — the batched multi-matrix eigensolver engine,
   schedule cache, and Monte-Carlo ensemble runner.
+* :mod:`repro.service` — the sharded streaming solve service: worker
+  process fan-out, size/deadline micro-batching, and the
+  :class:`JacobiService` submit/future facade.
 * :mod:`repro.simulator` — in-process message passing, communication
   traces, the packetised pipelined executor.
 * :mod:`repro.analysis` — Table 1 / Table 2 / Figure 2 / appendix
@@ -67,6 +70,12 @@ from .jacobi import (
     make_symmetric_test_matrix,
     onesided_jacobi,
 )
+from .service import (
+    JacobiService,
+    MicroBatcher,
+    ShardedExecutor,
+    SolveResult,
+)
 from .orderings import (
     BROrdering,
     CustomOrdering,
@@ -99,6 +108,8 @@ __all__ = [
     # batched engine
     "BatchedOneSidedJacobi", "BatchedResult", "ScheduleCache",
     "GLOBAL_SCHEDULE_CACHE", "run_ensemble",
+    # solve service
+    "JacobiService", "SolveResult", "MicroBatcher", "ShardedExecutor",
     # errors
     "ReproError", "TopologyError", "SequenceError", "OrderingError",
     "ScheduleError", "PipeliningError", "ConvergenceError",

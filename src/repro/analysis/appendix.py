@@ -25,7 +25,7 @@ test-suite for ``e in {5, 9, 17}``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

@@ -8,7 +8,7 @@ drivers pure and testable.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 __all__ = ["render_table", "render_ascii_chart"]
 

@@ -11,7 +11,7 @@ EXPERIMENTS.md).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..orderings.metrics import alpha, alpha_lower_bound
 from ..orderings.permuted_br import permuted_br_sequence_array

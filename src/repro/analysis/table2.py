@@ -75,7 +75,8 @@ def compute_table2(configs: Optional[Sequence[Tuple[int, int]]] = None,
                    tol: float = DEFAULT_TOL,
                    seed: int = 1998,
                    orderings: Sequence[str] = TABLE2_ORDERINGS,
-                   engine: str = "batched") -> List[Table2Row]:
+                   engine: str = "batched",
+                   workers: int = 0) -> List[Table2Row]:
     """Rerun the Table-2 convergence experiment.
 
     Parameters
@@ -92,17 +93,18 @@ def compute_table2(configs: Optional[Sequence[Tuple[int, int]]] = None,
     engine:
         ``"batched"`` (default) or ``"sequential"`` — bit-identical sweep
         counts, very different wall clock.
+    workers:
+        ``0`` (default) computes in-process; ``1`` runs the sharded
+        service path inline; ``>= 2`` fans the configuration grid out
+        across that many worker processes — same rows, bit for bit.
     """
     configs = default_configs() if configs is None else list(configs)
     results = run_ensemble(configs, num_matrices=num_matrices, seed=seed,
-                           tol=tol, orderings=orderings, engine=engine)
-    rows: List[Table2Row] = []
-    for res in results:
-        means = res.mean_sweeps()
-        vals = list(means.values())
-        rows.append(Table2Row(m=res.m, P=res.P, sweeps=means,
-                              spread=max(vals) - min(vals)))
-    return rows
+                           tol=tol, orderings=orderings, engine=engine,
+                           workers=workers)
+    return [Table2Row(m=res.m, P=res.P, sweeps=res.mean_sweeps(),
+                      spread=res.spread())
+            for res in results]
 
 
 def render_table2(rows: List[Table2Row],

@@ -2,8 +2,10 @@
 
 Usage (after ``pip install -e .``)::
 
+    repro-jacobi --version
     repro-jacobi table1
     repro-jacobi table2 [--matrices N] [--max-m M] [--tol T] [--engine E]
+                        [--workers W]
     repro-jacobi figure2 [--dims 5..15] [--m-exponents 18,23,32]
     repro-jacobi appendix
     repro-jacobi sequences [--max-e E]
@@ -24,6 +26,19 @@ import numpy as np
 __all__ = ["main", "build_parser"]
 
 
+def _package_version() -> str:
+    """Installed distribution version, falling back to the source tree's
+    ``repro.__version__`` when the package is run uninstalled."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro-jacobi")
+    except Exception:
+        from . import __version__
+
+        return __version__
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     from .analysis.table1 import compute_table1, render_table1
 
@@ -35,13 +50,19 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 def _cmd_table2(args: argparse.Namespace) -> int:
     from .analysis.table2 import compute_table2, default_configs, render_table2
 
+    workers = args.workers
+    if workers < 0:
+        from .service.pool import default_worker_count
+
+        workers = default_worker_count()
     rows = compute_table2(configs=default_configs(args.max_m),
                           num_matrices=args.matrices,
                           tol=args.tol, seed=args.seed,
-                          engine=args.engine)
+                          engine=args.engine, workers=workers)
     print(render_table2(rows))
     print(f"\n(matrices per config: {args.matrices}, tol: {args.tol:g}, "
-          f"seed: {args.seed}, engine: {args.engine})")
+          f"seed: {args.seed}, engine: {args.engine}, "
+          f"workers: {workers or 'in-process'})")
     return 0
 
 
@@ -157,6 +178,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-jacobi",
         description="Reproduce 'Jacobi Orderings for Multi-Port Hypercubes'"
                     " (IPPS 1998)")
+    p.add_argument("--version", action="version",
+                   version=f"%(prog)s {_package_version()}")
     sub = p.add_subparsers(dest="command", required=True)
 
     t1 = sub.add_parser("table1", help="alpha of permuted-BR vs lower bound")
@@ -175,6 +198,11 @@ def build_parser() -> argparse.ArgumentParser:
                     help="solver engine: batched multi-matrix (default) "
                          "or the historical per-matrix loop; results are "
                          "bit-identical")
+    t2.add_argument("--workers", type=int, default=0,
+                    help="worker processes to shard the configuration "
+                         "grid across (0 = in-process, -1 = one per CPU "
+                         "core); sweep counts are bit-identical for "
+                         "every worker count")
     t2.set_defaults(func=_cmd_table2)
 
     f2 = sub.add_parser("figure2", help="relative communication cost curves")

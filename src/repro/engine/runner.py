@@ -18,6 +18,14 @@ configuration to one of two engines:
 The two are bit-identical in eigenvalues and sweep counts (asserted by
 the equivalence tests), so the engine choice is purely a performance
 knob; ``benchmarks/test_bench_engine.py`` tracks the speedup.
+
+Passing ``workers >= 1`` routes the run through the service layer
+(:func:`repro.service.pool.run_ensemble_sharded`): the ``(config,
+ordering)`` work units — and, when that still leaves workers idle, the
+matrix batches themselves — are fanned out across worker processes and
+merged deterministically, so the results stay bit-identical to the
+in-process path; ``benchmarks/test_bench_service.py`` tracks the
+multi-process scaling.
 """
 
 from __future__ import annotations
@@ -77,8 +85,14 @@ class EnsembleConfigResult:
 
     def spread(self) -> float:
         """``max - min`` of the per-ordering means (the paper's claim is
-        that this is small)."""
+        that this is small).
+
+        A degenerate result — no orderings, or a single one — has no
+        cross-ordering disagreement to report, so the spread is 0.0.
+        """
         means = list(self.mean_sweeps().values())
+        if len(means) < 2:
+            return 0.0
         return max(means) - min(means)
 
 
@@ -110,7 +124,9 @@ def run_ensemble(configs: Sequence[Tuple[int, int]],
                  orderings: Sequence[str] = ENSEMBLE_ORDERINGS,
                  engine: str = "batched",
                  max_sweeps: int = 60,
-                 cache: Optional[ScheduleCache] = None
+                 cache: Optional[ScheduleCache] = None,
+                 workers: int = 0,
+                 shard_size: Optional[int] = None
                  ) -> List[EnsembleConfigResult]:
     """Sweeps-to-convergence of seeded random ensembles per (m, P).
 
@@ -135,9 +151,25 @@ def run_ensemble(configs: Sequence[Tuple[int, int]],
     cache:
         Schedule memo for the batched engine (defaults to the process
         cache).
+    workers:
+        ``0`` (default) runs in-process; ``>= 1`` routes through the
+        sharded service layer — ``1`` executes the same shard plan
+        inline, ``>= 2`` fans it out across that many worker processes.
+        Results are bit-identical for every choice.
+    shard_size:
+        Matrices per shard when sharding (``None`` = automatic: whole
+        ensembles unless splitting is needed to occupy the workers).
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")
+    if workers:
+        # Imported lazily: repro.service sits above this module.
+        from ..service.pool import run_ensemble_sharded
+
+        return run_ensemble_sharded(
+            configs, num_matrices=num_matrices, seed=seed, tol=tol,
+            orderings=orderings, engine=engine, max_sweeps=max_sweeps,
+            workers=workers, shard_size=shard_size, cache=cache)
     cache = cache if cache is not None else GLOBAL_SCHEDULE_CACHE
     results: List[EnsembleConfigResult] = []
     for m, P in configs:

@@ -18,7 +18,7 @@ across orderings is meaningful.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
@@ -26,7 +26,7 @@ import numpy as np
 from ..ccube.machine import MachineParams, PAPER_MACHINE
 from ..errors import ConvergenceError, SimulationError
 from ..orderings.base import JacobiOrdering
-from ..orderings.sweep import SweepSchedule, TransitionKind
+from ..orderings.sweep import SweepSchedule
 from ..orderings.validate import apply_transition, default_layout
 from ..simulator.trace import CommunicationTrace
 from .blocks import BlockDistribution, intra_block_rounds, pairing_step_rounds

@@ -14,7 +14,7 @@ any :func:`numpy.random.default_rng` seed.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

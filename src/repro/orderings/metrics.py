@@ -22,7 +22,6 @@ per sliding window) also feed the cost model in :mod:`repro.ccube.cost`.
 
 from __future__ import annotations
 
-import math
 from typing import Dict, Sequence, Tuple
 
 import numpy as np

@@ -27,7 +27,6 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-import numpy as np
 
 from ..errors import OrderingError, SequenceError
 from ..hypercube.paths import validate_sequence

@@ -24,7 +24,7 @@ is always a Hamiltonian path (machine-checked in the tests).
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import List, Tuple
+from typing import Tuple
 
 import numpy as np
 

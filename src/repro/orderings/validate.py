@@ -17,7 +17,7 @@ This module simulates block positions only (no numerics) and is used by
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 

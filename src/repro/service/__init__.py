@@ -1,0 +1,50 @@
+"""Sharded streaming solve service.
+
+The traffic-serving layer above :mod:`repro.engine` — three pieces, each
+usable alone:
+
+* :mod:`repro.service.pool` — :class:`ShardedExecutor` fans ensemble
+  work units (and oversized batches) out across spawn-safe worker
+  processes with per-worker schedule-cache warm-up and a deterministic
+  merge; :func:`run_ensemble_sharded` is the sharded twin of
+  :func:`repro.engine.run_ensemble` (reachable as
+  ``run_ensemble(workers=N)``).
+* :mod:`repro.service.batcher` — :class:`MicroBatcher` groups streaming
+  submissions by key and flushes micro-batches by size or deadline.
+* :mod:`repro.service.api` — :class:`JacobiService`, the facade:
+  ``submit(A) -> Future[SolveResult]``, ``solve_many``, queue and
+  throughput stats.
+
+Results are bit-identical to the in-process engines for every worker
+count, shard size and batching schedule — parallelism here is purely a
+throughput knob, never an accuracy trade.
+"""
+
+from .api import JacobiService, ServiceStats, SolveResult
+from .batcher import FlushEvent, MicroBatcher
+from .pool import (
+    ExecutorStats,
+    ShardTask,
+    ShardedExecutor,
+    default_worker_count,
+    plan_shards,
+    run_ensemble_sharded,
+    solve_batch_remote,
+    solve_ensemble_shard,
+)
+
+__all__ = [
+    "JacobiService",
+    "ServiceStats",
+    "SolveResult",
+    "FlushEvent",
+    "MicroBatcher",
+    "ShardTask",
+    "ShardedExecutor",
+    "ExecutorStats",
+    "default_worker_count",
+    "plan_shards",
+    "run_ensemble_sharded",
+    "solve_batch_remote",
+    "solve_ensemble_shard",
+]

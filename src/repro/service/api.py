@@ -1,0 +1,382 @@
+"""The solve-service facade: submit matrices, receive futures.
+
+:class:`JacobiService` is the traffic-serving front of the repo: callers
+:meth:`~JacobiService.submit` symmetric matrices as they arrive and get
+back a :class:`~concurrent.futures.Future` resolving to a per-matrix
+:class:`SolveResult`.  Behind the facade,
+
+* a :class:`~repro.service.batcher.MicroBatcher` groups submissions by
+  ``(m, ordering, d)`` and flushes micro-batches by size or deadline;
+* every flush is exactly one
+  :class:`~repro.engine.batched.BatchedOneSidedJacobi` call — run inline
+  by the dispatcher thread, or fanned out to a
+  :class:`~repro.service.pool.ShardedExecutor` worker pool when the
+  service was built with ``workers >= 2``;
+* per-matrix results are bit-identical to a sequential
+  :class:`~repro.jacobi.parallel.ParallelOneSidedJacobi` solve of the
+  same matrix (the engine's contract), so batching and sharding are pure
+  throughput knobs.
+
+A convergence miss is service data, not an exception: the future
+resolves to a :class:`SolveResult` with ``converged=False``.  Invalid
+submissions (non-symmetric, too small for the cube) are rejected
+synchronously at :meth:`~JacobiService.submit` so one bad matrix can
+never poison a micro-batch.
+
+Example
+-------
+>>> import numpy as np
+>>> from repro.jacobi import make_symmetric_test_matrix
+>>> from repro.service import JacobiService
+>>> with JacobiService(d=1, max_batch=4, max_delay=0.01) as svc:
+...     futures = [svc.submit(make_symmetric_test_matrix(8, rng=k))
+...                for k in range(4)]
+...     sweeps = [f.result().sweeps for f in futures]
+>>> len(sweeps)
+4
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..jacobi.convergence import DEFAULT_TOL
+from ..orderings.base import get_ordering
+from .batcher import FLUSH_CAUSES, FlushEvent, MicroBatcher
+from .pool import ShardedExecutor, solve_batch_remote
+
+__all__ = ["SolveResult", "ServiceStats", "JacobiService"]
+
+
+@dataclass(frozen=True)
+class SolveResult:
+    """Per-matrix outcome handed back by the service.
+
+    Attributes
+    ----------
+    eigenvalues:
+        ``(m,)`` ascending eigenvalues.  When the service was built
+        with ``compute_eigenvectors=False`` these are the ascending
+        eigenvalue *magnitudes* ``|lambda|`` (the one-sided iterate's
+        column norms — signs need the accumulated transformations; the
+        sequential solver has the same contract).
+    eigenvectors:
+        ``(m, m)`` eigenvector columns (``(m, 0)`` when the service was
+        built with ``compute_eigenvectors=False``).
+    sweeps:
+        Sweeps this matrix needed.
+    converged:
+        Whether the tolerance was met within the sweep budget.
+    """
+
+    eigenvalues: np.ndarray
+    eigenvectors: np.ndarray
+    sweeps: int
+    converged: bool
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Queue/throughput counters of a :class:`JacobiService`.
+
+    ``flushes`` counts released micro-batches by cause (``size`` /
+    ``deadline`` / ``forced``); ``mean_batch_size`` is submitted items
+    per flush; ``throughput`` is completed solves per second since the
+    first submission (0.0 before any work completes).
+    """
+
+    submitted: int
+    completed: int
+    failed: int
+    queue_depth: int
+    flushes: Dict[str, int]
+    batches: int
+    mean_batch_size: float
+    workers: int
+    elapsed: float
+    throughput: float
+
+
+@dataclass
+class _Item:
+    matrix: np.ndarray
+    future: "Future[SolveResult]"
+
+
+class JacobiService:
+    """Streaming eigensolver service over the batched engine.
+
+    Parameters
+    ----------
+    d:
+        Default hypercube dimension (``2**d`` simulated nodes).
+    ordering:
+        Default ordering family name (any registered family).
+    tol, max_sweeps:
+        Convergence tolerance and per-matrix sweep budget.
+    max_batch, max_delay:
+        Micro-batching knobs (see
+        :class:`~repro.service.batcher.MicroBatcher`).
+    workers:
+        ``0``/``1`` solves flushes on the dispatcher thread; ``>= 2``
+        fans them out to that many worker processes.
+    compute_eigenvectors:
+        Accumulate eigenvectors (disable for sweep-count-only traffic;
+        results then carry eigenvalue magnitudes, not signs — see
+        :class:`SolveResult`).
+    executor:
+        Optionally share a pre-built
+        :class:`~repro.service.pool.ShardedExecutor`; it is then not
+        shut down by :meth:`close`.
+
+    The service is a context manager; :meth:`close` drains the queue
+    (every submitted future resolves) before stopping the dispatcher.
+    """
+
+    def __init__(self, d: int = 2, ordering: str = "degree4",
+                 tol: float = DEFAULT_TOL, max_sweeps: int = 60,
+                 max_batch: int = 16, max_delay: float = 0.02,
+                 workers: int = 0, compute_eigenvectors: bool = True,
+                 executor: Optional[ShardedExecutor] = None) -> None:
+        self.d = int(d)
+        self.ordering = str(ordering)
+        get_ordering(self.ordering, self.d)  # validate eagerly
+        self.tol = float(tol)
+        self.max_sweeps = int(max_sweeps)
+        self.compute_eigenvectors = bool(compute_eigenvectors)
+        self.workers = int(workers)
+        self._clock = time.monotonic
+        self._cond = threading.Condition()
+        self._batcher = MicroBatcher(max_batch=max_batch,
+                                     max_delay=max_delay,
+                                     clock=self._clock)
+        self._own_executor = executor is None and self.workers >= 2
+        if executor is not None:
+            self._executor: Optional[ShardedExecutor] = executor
+        elif self.workers >= 2:
+            self._executor = ShardedExecutor(
+                self.workers, warm=[(self.ordering, self.d)])
+        else:
+            self._executor = None
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+        self._force = False
+        self._inflight = 0
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._flushes = {cause: 0 for cause in FLUSH_CAUSES}
+        self._batched_items = 0
+        self._first_submit: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def _validate(self, A: np.ndarray, d: int) -> np.ndarray:
+        # Always copy: the matrix is held across an asynchronous boundary
+        # (queued until a flush), so a caller reusing one buffer for
+        # successive submits must not retroactively change queued work.
+        A = np.array(A, dtype=np.float64, copy=True)
+        if A.ndim != 2 or A.shape[0] != A.shape[1]:
+            raise SimulationError(
+                f"service expects one square matrix per submit, got "
+                f"shape {A.shape}")
+        m = A.shape[0]
+        if m < (1 << (d + 1)):
+            raise SimulationError(
+                f"matrix dimension {m} too small for a {d}-cube "
+                f"(need m >= {1 << (d + 1)})")
+        if not np.allclose(A, A.T, atol=1e-12 * max(1.0, np.abs(A).max())):
+            raise SimulationError(
+                "one-sided Jacobi requires a symmetric matrix")
+        return A
+
+    def _ensure_thread(self) -> None:
+        if self._thread is None or not self._thread.is_alive():
+            self._thread = threading.Thread(
+                target=self._run, name="jacobi-service-dispatch",
+                daemon=True)
+            self._thread.start()
+
+    def submit(self, A: np.ndarray, *, ordering: Optional[str] = None,
+               d: Optional[int] = None) -> "Future[SolveResult]":
+        """Queue one symmetric matrix; resolve to its
+        :class:`SolveResult`.
+
+        ``ordering``/``d`` override the service defaults per submission;
+        matrices are micro-batched by ``(m, ordering, d)``, so mixed
+        traffic shapes coexist on one service.
+        """
+        name = self.ordering if ordering is None else str(ordering)
+        dim = self.d if d is None else int(d)
+        get_ordering(name, dim)  # validate before queueing
+        A = self._validate(A, dim)
+        future: "Future[SolveResult]" = Future()
+        with self._cond:
+            if self._closed:
+                raise SimulationError("service is closed")
+            if self._first_submit is None:
+                self._first_submit = self._clock()
+            self._submitted += 1
+            self._inflight += 1
+            self._batcher.submit((A.shape[0], name, dim),
+                                 _Item(matrix=A, future=future))
+            self._ensure_thread()
+            self._cond.notify_all()
+        return future
+
+    def solve_many(self, matrices: Sequence[np.ndarray], *,
+                   ordering: Optional[str] = None,
+                   d: Optional[int] = None) -> List[SolveResult]:
+        """Submit a whole sequence, force a flush, wait for the results."""
+        futures = [self.submit(A, ordering=ordering, d=d)
+                   for A in matrices]
+        self.flush()
+        return [f.result() for f in futures]
+
+    def flush(self) -> None:
+        """Ask the dispatcher to release every queued micro-batch now
+        (the pending futures resolve as the flushed solves finish)."""
+        with self._cond:
+            if self._batcher.pending():
+                self._force = True
+                self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                if self._force:
+                    events = self._batcher.drain()
+                    self._force = False
+                else:
+                    events = self._batcher.pop_ready()
+                if not events:
+                    if self._closed and not self._batcher.pending():
+                        return
+                    deadline = self._batcher.next_deadline()
+                    timeout = (None if deadline is None
+                               else max(0.0, deadline - self._clock()))
+                    self._cond.wait(timeout)
+                    continue
+            for event in events:
+                self._dispatch(event)
+
+    def _dispatch(self, event: FlushEvent) -> None:
+        # Every exit of this method must settle or fail the items: an
+        # escaped exception would kill the dispatcher thread and leave
+        # the pending futures (and close()) hanging forever.
+        _, name, dim = event.key
+        items = list(event.items)
+        with self._cond:
+            self._flushes[event.cause] += 1
+            self._batched_items += len(items)
+        try:
+            payload = {
+                "matrices": np.stack([item.matrix for item in items]),
+                "ordering": name, "d": dim, "tol": self.tol,
+                "max_sweeps": self.max_sweeps,
+                "compute_eigenvectors": self.compute_eigenvectors,
+            }
+            if (self._executor is not None
+                    and self._executor.uses_processes):
+                fut = self._executor.submit(solve_batch_remote, payload)
+                fut.add_done_callback(
+                    lambda f, its=items: self._complete_remote(its, f))
+                return
+            out = solve_batch_remote(payload)
+        except BaseException as exc:  # noqa: BLE001 - futures carry it
+            self._fail(items, exc)
+            return
+        self._settle(items, out)
+
+    def _complete_remote(self, items: List[_Item],
+                         fut: "Future[Dict[str, np.ndarray]]") -> None:
+        exc = fut.exception()
+        if exc is not None:
+            self._fail(items, exc)
+        else:
+            self._settle(items, fut.result())
+
+    def _settle(self, items: List[_Item],
+                out: Dict[str, np.ndarray]) -> None:
+        for k, item in enumerate(items):
+            # Build the result outside the guard: a malformed backend
+            # payload must fail the future loudly, never be swallowed.
+            try:
+                result = SolveResult(
+                    eigenvalues=out["eigenvalues"][k],
+                    eigenvectors=out["eigenvectors"][k],
+                    sweeps=int(out["sweeps"][k]),
+                    converged=bool(out["converged"][k]))
+            except Exception as exc:
+                self._fail(items[k:], exc)
+                items = items[:k]
+                break
+            try:
+                item.future.set_result(result)
+            except Exception:
+                pass  # caller cancelled the future; result discarded
+        with self._cond:
+            self._completed += len(items)
+            self._inflight -= len(items)
+            self._cond.notify_all()
+
+    def _fail(self, items: List[_Item], exc: BaseException) -> None:
+        for item in items:
+            try:
+                item.future.set_exception(exc)
+            except Exception:
+                pass  # caller cancelled the future; error discarded
+        with self._cond:
+            self._failed += len(items)
+            self._inflight -= len(items)
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    def stats(self) -> ServiceStats:
+        """Snapshot of the queue/throughput counters."""
+        with self._cond:
+            elapsed = (0.0 if self._first_submit is None
+                       else self._clock() - self._first_submit)
+            batches = sum(self._flushes.values())
+            return ServiceStats(
+                submitted=self._submitted,
+                completed=self._completed,
+                failed=self._failed,
+                queue_depth=self._batcher.pending(),
+                flushes=dict(self._flushes),
+                batches=batches,
+                mean_batch_size=(self._batched_items / batches
+                                 if batches else 0.0),
+                workers=self.workers,
+                elapsed=elapsed,
+                throughput=(self._completed / elapsed
+                            if elapsed > 0 else 0.0))
+
+    def close(self) -> None:
+        """Drain the queue, resolve every future, stop the dispatcher."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._force = self._batcher.pending() > 0
+            self._cond.notify_all()
+        if self._thread is not None:
+            self._thread.join()
+        with self._cond:
+            while self._inflight:
+                self._cond.wait()
+        if self._own_executor and self._executor is not None:
+            self._executor.shutdown()
+
+    def __enter__(self) -> "JacobiService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -1,0 +1,171 @@
+"""Micro-batching: group streaming submissions, flush by size or deadline.
+
+The batched engine is fastest when it sees many same-shape matrices at
+once, but a *service* receives matrices one at a time.
+:class:`MicroBatcher` is the traffic shaper between the two: items are
+queued per key (the service keys by ``(m, ordering, d)`` so every flush
+is one :class:`~repro.engine.batched.BatchedOneSidedJacobi` call) and a
+group is released when it
+
+* reaches ``max_batch`` items (a **size** flush — full batches, maximum
+  throughput), or
+* has waited ``max_delay`` seconds since its oldest item arrived (a
+  **deadline** flush — bounded latency for trickling traffic), or
+* is explicitly drained (a **forced** flush — e.g. on shutdown or
+  :meth:`~repro.service.api.JacobiService.flush`).
+
+The class is deliberately *passive*: it never spawns threads or sleeps.
+Callers inject a ``clock`` and drive :meth:`pop_ready` themselves —
+:class:`~repro.service.api.JacobiService` does so from its dispatcher
+thread, and the unit tests do so with a fake clock, which is what makes
+the size/deadline semantics exactly pinnable.  It is **not**
+thread-safe; the owner serialises access (the service holds its
+condition lock around every call).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+__all__ = ["FLUSH_CAUSES", "FlushEvent", "MicroBatcher"]
+
+#: Flush causes reported on :class:`FlushEvent` (and counted by the
+#: service stats).
+FLUSH_CAUSES = ("size", "deadline", "forced")
+
+
+@dataclass(frozen=True)
+class FlushEvent:
+    """One released micro-batch.
+
+    Attributes
+    ----------
+    key:
+        The grouping key the items were queued under.
+    items:
+        The queued payloads, in arrival order.
+    cause:
+        ``"size"``, ``"deadline"`` or ``"forced"``.
+    waited:
+        Seconds the oldest released item spent queued.
+    """
+
+    key: Hashable
+    items: Tuple[Any, ...]
+    cause: str
+    waited: float
+
+
+@dataclass
+class _Group:
+    items: List[Any] = field(default_factory=list)
+    arrived: List[float] = field(default_factory=list)
+
+
+class MicroBatcher:
+    """Queue items per key; release micro-batches by size or deadline.
+
+    Parameters
+    ----------
+    max_batch:
+        Items per size-triggered flush (>= 1), and a hard ceiling on
+        every release: oversized groups always come out as several full
+        batches (the remainder waits for its deadline, or is chunked on
+        a drain).
+    max_delay:
+        Seconds a group's oldest item may wait before a deadline flush
+        (>= 0; ``0`` releases on the next poll).
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(self, max_batch: int = 16, max_delay: float = 0.02,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.max_batch = int(max_batch)
+        self.max_delay = float(max_delay)
+        if self.max_batch < 1:
+            raise SimulationError(
+                f"max_batch must be >= 1, got {max_batch}")
+        if self.max_delay < 0:
+            raise SimulationError(
+                f"max_delay must be >= 0, got {max_delay}")
+        self._clock = clock
+        self._groups: Dict[Hashable, _Group] = {}
+
+    # ------------------------------------------------------------------
+    def submit(self, key: Hashable, item: Any,
+               now: Optional[float] = None) -> bool:
+        """Queue ``item`` under ``key``; True when the group is now
+        size-ready (the caller should :meth:`pop_ready` promptly)."""
+        now = self._clock() if now is None else now
+        group = self._groups.setdefault(key, _Group())
+        group.items.append(item)
+        group.arrived.append(now)
+        return len(group.items) >= self.max_batch
+
+    def pending(self) -> int:
+        """Queued items across all groups."""
+        return sum(len(g.items) for g in self._groups.values())
+
+    def group_sizes(self) -> Dict[Hashable, int]:
+        """Queue depth per key (insertion-ordered)."""
+        return {key: len(g.items) for key, g in self._groups.items()}
+
+    def next_deadline(self) -> Optional[float]:
+        """Clock value at which the earliest group expires (None when
+        empty) — what a dispatcher thread should sleep until."""
+        arrivals = [g.arrived[0] for g in self._groups.values() if g.items]
+        if not arrivals:
+            return None
+        return min(arrivals) + self.max_delay
+
+    # ------------------------------------------------------------------
+    def _release(self, key: Hashable, count: int, cause: str,
+                 now: float) -> FlushEvent:
+        group = self._groups[key]
+        items = tuple(group.items[:count])
+        waited = now - group.arrived[0]
+        del group.items[:count]
+        del group.arrived[:count]
+        if not group.items:
+            del self._groups[key]
+        return FlushEvent(key=key, items=items, cause=cause, waited=waited)
+
+    def pop_ready(self, now: Optional[float] = None) -> List[FlushEvent]:
+        """Release every size-ready batch and every expired group.
+
+        Size flushes come out as full ``max_batch`` chunks in arrival
+        order; a remainder below ``max_batch`` is released only once its
+        oldest item has waited ``max_delay``.
+        """
+        now = self._clock() if now is None else now
+        events: List[FlushEvent] = []
+        for key in list(self._groups):
+            while (key in self._groups
+                   and len(self._groups[key].items) >= self.max_batch):
+                events.append(self._release(key, self.max_batch,
+                                            "size", now))
+            if (key in self._groups
+                    and now - self._groups[key].arrived[0]
+                    >= self.max_delay):
+                events.append(self._release(
+                    key, len(self._groups[key].items), "deadline", now))
+        return events
+
+    def drain(self, now: Optional[float] = None) -> List[FlushEvent]:
+        """Release everything immediately (cause ``"forced"``).
+
+        ``max_batch`` stays a hard ceiling: an oversized group comes out
+        as several chunks, never one giant batch.
+        """
+        now = self._clock() if now is None else now
+        events: List[FlushEvent] = []
+        for key in list(self._groups):
+            while key in self._groups:
+                count = min(len(self._groups[key].items), self.max_batch)
+                events.append(self._release(key, count, "forced", now))
+        return events

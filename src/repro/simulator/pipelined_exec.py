@@ -22,7 +22,7 @@ are whole columns, so the pipelining degree is capped at the block size
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Union
+from typing import Dict, Optional, Union
 
 import numpy as np
 

@@ -16,6 +16,19 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["nope"])
 
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro-jacobi ")
+        assert out.split()[1][0].isdigit()
+
+    def test_table2_help_mentions_workers(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table2", "--help"])
+        assert "--workers" in capsys.readouterr().out
+
 
 class TestCommands:
     def test_table1(self, capsys):
@@ -27,6 +40,16 @@ class TestCommands:
         assert main(["table2", "--matrices", "2", "--max-m", "8"]) == 0
         out = capsys.readouterr().out
         assert "Table 2" in out and "degree4" in out
+
+    def test_table2_workers_matches_in_process(self, capsys):
+        assert main(["table2", "--matrices", "2", "--max-m", "8"]) == 0
+        baseline = capsys.readouterr().out
+        assert main(["table2", "--matrices", "2", "--max-m", "8",
+                     "--workers", "2"]) == 0
+        sharded = capsys.readouterr().out
+        # identical rows, worker count surfaced in the footer
+        assert baseline.split("\n(")[0] == sharded.split("\n(")[0]
+        assert "workers: 2" in sharded
 
     def test_figure2_small(self, capsys):
         assert main(["figure2", "--dims", "5..6", "--m-exponents", "18",

@@ -223,3 +223,25 @@ class TestRunEnsemble:
         a = generate_ensemble(8, 2, 3, seed=5)
         b = generate_ensemble(8, 2, 3, seed=6)
         assert not np.array_equal(a, b)
+
+
+class TestEnsembleConfigResultSpread:
+    """Regression: spread() used to raise ValueError on degenerate
+    sweeps dicts (max()/min() of an empty sequence)."""
+
+    def test_empty_sweeps_spread_is_zero(self):
+        from repro.engine import EnsembleConfigResult
+
+        assert EnsembleConfigResult(m=8, P=2, sweeps={}).spread() == 0.0
+
+    def test_single_ordering_spread_is_zero(self):
+        (res,) = run_ensemble([(8, 2)], num_matrices=2, seed=5,
+                              orderings=["br"])
+        assert res.spread() == 0.0
+
+    def test_two_orderings_spread_is_max_minus_min(self):
+        (res,) = run_ensemble([(16, 2)], num_matrices=3, seed=5,
+                              orderings=["br", "degree4"])
+        means = res.mean_sweeps()
+        assert res.spread() == pytest.approx(
+            abs(means["br"] - means["degree4"]))

@@ -1,0 +1,149 @@
+"""MicroBatcher semantics: size flushes, deadline flushes, drains.
+
+The batcher is passive and takes an injectable clock, so every timing
+rule is pinned here deterministically — no sleeps, no threads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.service import MicroBatcher
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+def make(clock: FakeClock, max_batch: int = 3,
+         max_delay: float = 1.0) -> MicroBatcher:
+    return MicroBatcher(max_batch=max_batch, max_delay=max_delay,
+                        clock=clock)
+
+
+class TestValidation:
+    def test_bad_max_batch(self, clock):
+        with pytest.raises(SimulationError):
+            MicroBatcher(max_batch=0, clock=clock)
+
+    def test_bad_max_delay(self, clock):
+        with pytest.raises(SimulationError):
+            MicroBatcher(max_delay=-0.1, clock=clock)
+
+
+class TestSizeFlush:
+    def test_submit_reports_size_ready(self, clock):
+        mb = make(clock)
+        assert mb.submit("k", 1) is False
+        assert mb.submit("k", 2) is False
+        assert mb.submit("k", 3) is True
+
+    def test_pop_ready_releases_full_batch(self, clock):
+        mb = make(clock)
+        for x in range(3):
+            mb.submit("k", x)
+        events = mb.pop_ready()
+        assert len(events) == 1
+        assert events[0].cause == "size"
+        assert events[0].items == (0, 1, 2)
+        assert mb.pending() == 0
+
+    def test_oversized_group_chunks_remainder_waits(self, clock):
+        mb = make(clock)
+        for x in range(7):
+            mb.submit("k", x)
+        events = mb.pop_ready()
+        assert [e.cause for e in events] == ["size", "size"]
+        assert [e.items for e in events] == [(0, 1, 2), (3, 4, 5)]
+        # the remainder is below max_batch and not yet expired
+        assert mb.pending() == 1
+        assert mb.pop_ready() == []
+
+    def test_below_size_not_released(self, clock):
+        mb = make(clock)
+        mb.submit("k", 1)
+        assert mb.pop_ready() == []
+        assert mb.pending() == 1
+
+
+class TestDeadlineFlush:
+    def test_expired_group_released(self, clock):
+        mb = make(clock, max_delay=1.0)
+        mb.submit("k", "a")
+        clock.advance(0.99)
+        assert mb.pop_ready() == []
+        clock.advance(0.01)
+        events = mb.pop_ready()
+        assert len(events) == 1
+        assert events[0].cause == "deadline"
+        assert events[0].items == ("a",)
+        assert events[0].waited == pytest.approx(1.0)
+
+    def test_deadline_counts_from_oldest_item(self, clock):
+        mb = make(clock, max_delay=1.0)
+        mb.submit("k", "old")
+        clock.advance(0.8)
+        mb.submit("k", "young")
+        clock.advance(0.2)  # oldest now at the deadline
+        events = mb.pop_ready()
+        assert [e.items for e in events] == [("old", "young")]
+
+    def test_next_deadline_tracks_earliest_group(self, clock):
+        mb = make(clock, max_delay=1.0)
+        assert mb.next_deadline() is None
+        mb.submit("a", 1)
+        clock.advance(0.5)
+        mb.submit("b", 2)
+        assert mb.next_deadline() == pytest.approx(1.0)
+
+    def test_zero_delay_releases_on_next_poll(self, clock):
+        mb = make(clock, max_delay=0.0)
+        mb.submit("k", 1)
+        assert [e.cause for e in mb.pop_ready()] == ["deadline"]
+
+
+class TestGroupsAndDrain:
+    def test_groups_are_independent(self, clock):
+        mb = make(clock, max_batch=2)
+        mb.submit(("m16",), 1)
+        mb.submit(("m32",), 2)
+        mb.submit(("m16",), 3)
+        events = mb.pop_ready()
+        assert len(events) == 1
+        assert events[0].key == ("m16",)
+        assert mb.group_sizes() == {("m32",): 1}
+
+    def test_drain_releases_everything_chunked(self, clock):
+        mb = make(clock, max_batch=2)
+        for x in range(5):
+            mb.submit("k", x)
+        mb.submit("other", "z")
+        events = mb.drain()
+        assert [(e.key, e.items, e.cause) for e in events] == [
+            ("k", (0, 1), "forced"),
+            ("k", (2, 3), "forced"),
+            ("k", (4,), "forced"),
+            ("other", ("z",), "forced"),
+        ]
+        assert mb.pending() == 0
+        assert mb.next_deadline() is None
+
+    def test_arrival_order_preserved_within_group(self, clock):
+        mb = make(clock, max_batch=10)
+        for x in "abcde":
+            mb.submit("k", x)
+        (event,) = mb.drain()
+        assert event.items == tuple("abcde")

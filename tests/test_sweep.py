@@ -10,7 +10,6 @@ from repro.orderings import (
     SweepSchedule,
     Transition,
     TransitionKind,
-    build_sweep_schedule,
     get_ordering,
     sweep_length,
 )
@@ -162,8 +161,7 @@ class TestOrderingClassContracts:
         assert o.phase_sequence(3) == br_sequence(3)
 
     def test_register_ordering(self):
-        from repro.orderings import (BROrdering, ORDERING_NAMES,
-                                     register_ordering)
+        from repro.orderings import BROrdering, register_ordering
         from repro.orderings.base import _REGISTRY
 
         class Renamed(BROrdering):
