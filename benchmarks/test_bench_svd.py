@@ -1,0 +1,92 @@
+"""Benchmark: batched SVD engine vs the sequential onesided_svd loop.
+
+Times :func:`repro.engine.run_svd_ensemble` under both engines on the
+default SVD shape grid (tall and square, m in {8..32}) and asserts
+
+* the per-matrix sweep counts are bit-identical, and
+* the batched engine is at least 3x faster.
+
+``REPRO_BENCH_SVD_MATRICES`` controls the ensemble size of the fast
+default run (8; the slow-marked paper-scale run uses 30).
+``REPRO_BENCH_SVD_MIN_SPEEDUP`` overrides the required speedup (default
+3.0) for heavily-shared CI runners — deliberately a different variable
+from the engine/service benchmarks so relaxing one floor never weakens
+the others.  On single-core hosts the floor is skipped (after printing
+the measured ratio): with no vector-unit headroom left for batching,
+wall-clock ratios are physics, not regressions — the bit-identity check
+always runs.
+
+Run::
+
+    pytest benchmarks/test_bench_svd.py -s
+    pytest benchmarks/test_bench_svd.py -s -m slow   # paper scale
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.svdbench import DEFAULT_SVD_SHAPES
+from repro.engine import run_svd_ensemble
+
+#: Required advantage of the batched SVD engine over the sequential
+#: per-matrix loop on the default shape grid (observed locally: ~4x).
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_SVD_MIN_SPEEDUP", "3.0"))
+
+
+def _time_engines(num_matrices: int):
+    shapes = list(DEFAULT_SVD_SHAPES)
+    t0 = time.perf_counter()
+    seq = run_svd_ensemble(shapes, num_matrices=num_matrices, seed=1998,
+                           engine="sequential")
+    t_seq = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    bat = run_svd_ensemble(shapes, num_matrices=num_matrices, seed=1998,
+                           engine="batched")
+    t_bat = time.perf_counter() - t0
+    return seq, t_seq, bat, t_bat
+
+
+def _assert_identical(seq, bat):
+    for a, b in zip(seq, bat):
+        assert np.array_equal(a.sweeps, b.sweeps), \
+            f"sweep counts diverged at shape ({a.n}, {a.m})"
+
+
+def _check_speedup(speedup: float) -> None:
+    cores = os.cpu_count() or 1
+    if cores < 2:
+        pytest.skip(
+            f"single-core host — bit-identity verified, speedup floor "
+            f"needs headroom (measured {speedup:.2f}x)")
+    assert speedup >= MIN_SPEEDUP, (
+        f"batched SVD engine only {speedup:.2f}x faster "
+        f"(< {MIN_SPEEDUP}x) on the default shape grid")
+
+
+def test_svd_engine_speedup_default_grid():
+    """Batched >= 3x faster than the sequential loop on the default
+    shape grid, with bit-identical sweep counts."""
+    num = int(os.environ.get("REPRO_BENCH_SVD_MATRICES", "8"))
+    seq, t_seq, bat, t_bat = _time_engines(num)
+    _assert_identical(seq, bat)
+    speedup = t_seq / t_bat
+    print(f"\nSVD engine speedup ({num} matrices/shape, "
+          f"{len(DEFAULT_SVD_SHAPES)} shapes): sequential {t_seq:.2f}s, "
+          f"batched {t_bat:.2f}s -> {speedup:.2f}x")
+    _check_speedup(speedup)
+
+
+@pytest.mark.slow
+def test_svd_engine_speedup_paper_scale():
+    """Same comparison at the paper's 30 matrices per shape."""
+    seq, t_seq, bat, t_bat = _time_engines(30)
+    _assert_identical(seq, bat)
+    speedup = t_seq / t_bat
+    print(f"\nSVD engine speedup (30 matrices/shape): sequential "
+          f"{t_seq:.2f}s, batched {t_bat:.2f}s -> {speedup:.2f}x")
+    _check_speedup(speedup)

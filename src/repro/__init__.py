@@ -59,10 +59,13 @@ from .errors import (
 )
 from .engine import (
     BatchedOneSidedJacobi,
+    BatchedOneSidedSVD,
     BatchedResult,
+    BatchedSvdResult,
     GLOBAL_SCHEDULE_CACHE,
     ScheduleCache,
     run_ensemble,
+    run_svd_ensemble,
 )
 from .hypercube import Hypercube
 from .jacobi import (
@@ -75,6 +78,7 @@ from .service import (
     MicroBatcher,
     ShardedExecutor,
     SolveResult,
+    SvdResult,
 )
 from .orderings import (
     BROrdering,
@@ -105,11 +109,13 @@ __all__ = [
     # solvers
     "ParallelOneSidedJacobi", "onesided_jacobi",
     "make_symmetric_test_matrix",
-    # batched engine
+    # batched engines
     "BatchedOneSidedJacobi", "BatchedResult", "ScheduleCache",
     "GLOBAL_SCHEDULE_CACHE", "run_ensemble",
+    "BatchedOneSidedSVD", "BatchedSvdResult", "run_svd_ensemble",
     # solve service
-    "JacobiService", "SolveResult", "MicroBatcher", "ShardedExecutor",
+    "JacobiService", "SolveResult", "SvdResult", "MicroBatcher",
+    "ShardedExecutor",
     # errors
     "ReproError", "TopologyError", "SequenceError", "OrderingError",
     "ScheduleError", "PipeliningError", "ConvergenceError",

@@ -29,6 +29,13 @@ from .figure2 import (
     render_figure2,
 )
 from .report import render_ascii_chart, render_table
+from .svdbench import (
+    DEFAULT_SVD_SHAPES,
+    SvdBenchRow,
+    compute_svd_bench,
+    parse_shapes,
+    render_svd_bench,
+)
 from .timeline import render_link_timeline, render_phase_timelines
 from .table1 import (
     PAPER_TABLE1_ALPHA,
@@ -58,4 +65,6 @@ __all__ = [
     "CalibrationRow", "sweeps_under_criterion", "compute_calibration",
     "render_calibration",
     "render_link_timeline", "render_phase_timelines",
+    "DEFAULT_SVD_SHAPES", "SvdBenchRow", "compute_svd_bench",
+    "render_svd_bench", "parse_shapes",
 ]

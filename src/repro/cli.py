@@ -6,6 +6,8 @@ Usage (after ``pip install -e .``)::
     repro-jacobi table1
     repro-jacobi table2 [--matrices N] [--max-m M] [--tol T] [--engine E]
                         [--workers W]
+    repro-jacobi svd-bench [--shapes 32x8,64x16] [--matrices N]
+                           [--engine E] [--workers W]
     repro-jacobi figure2 [--dims 5..15] [--m-exponents 18,23,32]
     repro-jacobi appendix
     repro-jacobi sequences [--max-e E]
@@ -61,6 +63,31 @@ def _cmd_table2(args: argparse.Namespace) -> int:
                           engine=args.engine, workers=workers)
     print(render_table2(rows))
     print(f"\n(matrices per config: {args.matrices}, tol: {args.tol:g}, "
+          f"seed: {args.seed}, engine: {args.engine}, "
+          f"workers: {workers or 'in-process'})")
+    return 0
+
+
+def _cmd_svd_bench(args: argparse.Namespace) -> int:
+    from .analysis.svdbench import (
+        DEFAULT_SVD_SHAPES,
+        compute_svd_bench,
+        parse_shapes,
+        render_svd_bench,
+    )
+
+    workers = args.workers
+    if workers < 0:
+        from .service.pool import default_worker_count
+
+        workers = default_worker_count()
+    shapes = (list(DEFAULT_SVD_SHAPES) if args.shapes is None
+              else parse_shapes(args.shapes))
+    rows = compute_svd_bench(shapes=shapes, num_matrices=args.matrices,
+                             seed=args.seed, tol=args.tol,
+                             engine=args.engine, workers=workers)
+    print(render_svd_bench(rows))
+    print(f"\n(matrices per shape: {args.matrices}, tol: {args.tol:g}, "
           f"seed: {args.seed}, engine: {args.engine}, "
           f"workers: {workers or 'in-process'})")
     return 0
@@ -204,6 +231,27 @@ def build_parser() -> argparse.ArgumentParser:
                          "core); sweep counts are bit-identical for "
                          "every worker count")
     t2.set_defaults(func=_cmd_table2)
+
+    sb = sub.add_parser("svd-bench",
+                        help="batched SVD ensembles across a shape grid")
+    sb.add_argument("--shapes", default=None,
+                    help="comma-separated NxM shapes, e.g. 32x8,64x16 "
+                         "(default: the built-in grid)")
+    sb.add_argument("--matrices", type=int, default=10,
+                    help="matrices per shape")
+    sb.add_argument("--tol", type=float, default=1e-9)
+    sb.add_argument("--seed", type=int, default=1998)
+    sb.add_argument("--engine", choices=("sequential", "batched"),
+                    default="batched",
+                    help="solver engine: batched multi-matrix (default) "
+                         "or the historical per-matrix loop; sweep "
+                         "counts are bit-identical")
+    sb.add_argument("--workers", type=int, default=0,
+                    help="worker processes to shard the shape grid "
+                         "across (0 = in-process, -1 = one per CPU "
+                         "core); sweep counts are bit-identical for "
+                         "every worker count")
+    sb.set_defaults(func=_cmd_svd_bench)
 
     f2 = sub.add_parser("figure2", help="relative communication cost curves")
     f2.add_argument("--dims", default="5..15",

@@ -5,13 +5,18 @@ The scaling layer above the single-matrix solvers:
 * :mod:`repro.engine.batched` — :class:`BatchedOneSidedJacobi`, one
   shared sweep schedule across a whole stack of matrices, bit-identical
   to the sequential path.
+* :mod:`repro.engine.svd` — :class:`BatchedOneSidedSVD`, the same
+  batching for the SVD traffic class: stacks of tall/square matrices,
+  bit-identical to ``onesided_svd``/``parallel_svd``.
 * :mod:`repro.engine.cache` — process-level memo of built sweep
   schedules and ordering sequences.
-* :mod:`repro.engine.runner` — :func:`run_ensemble`, the Monte-Carlo
-  driver behind Table 2 and the convergence studies.
+* :mod:`repro.engine.runner` — :func:`run_ensemble` /
+  :func:`run_svd_ensemble`, the Monte-Carlo drivers behind Table 2 and
+  the convergence/SVD studies.
 """
 
 from .batched import BatchedOneSidedJacobi, BatchedResult, stack_matrices
+from .svd import BatchedOneSidedSVD, BatchedSvdResult, stack_rect_matrices
 from .cache import (
     GLOBAL_SCHEDULE_CACHE,
     CacheInfo,
@@ -23,14 +28,20 @@ from .runner import (
     ENGINES,
     ENSEMBLE_ORDERINGS,
     EnsembleConfigResult,
+    SvdEnsembleResult,
     generate_ensemble,
+    generate_svd_ensemble,
     run_ensemble,
+    run_svd_ensemble,
 )
 
 __all__ = [
     "BatchedOneSidedJacobi",
     "BatchedResult",
     "stack_matrices",
+    "BatchedOneSidedSVD",
+    "BatchedSvdResult",
+    "stack_rect_matrices",
     "ScheduleCache",
     "CacheInfo",
     "GLOBAL_SCHEDULE_CACHE",
@@ -39,6 +50,9 @@ __all__ = [
     "ENGINES",
     "ENSEMBLE_ORDERINGS",
     "EnsembleConfigResult",
+    "SvdEnsembleResult",
     "generate_ensemble",
+    "generate_svd_ensemble",
     "run_ensemble",
+    "run_svd_ensemble",
 ]

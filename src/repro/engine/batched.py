@@ -97,7 +97,8 @@ from ..orderings.sweep import SweepSchedule, TransitionKind
 from ..orderings.validate import apply_transition, default_layout
 from .cache import GLOBAL_SCHEDULE_CACHE, ScheduleCache
 
-__all__ = ["BatchedResult", "BatchedOneSidedJacobi", "stack_matrices"]
+__all__ = ["BatchedResult", "BatchedOneSidedJacobi", "stack_matrices",
+           "run_batched_sweeps"]
 
 
 def stack_matrices(matrices: Union[np.ndarray, Sequence[np.ndarray]]
@@ -174,12 +175,15 @@ class _IndexedBackend:
     :func:`~repro.jacobi.blocks.pairing_step_rounds` /
     :func:`~repro.jacobi.blocks.intra_block_rounds` through the batched
     :func:`~repro.jacobi.rotations.rotate_pairs`.  Handles every block
-    distribution, including uneven ones.
+    distribution, including uneven ones, and rectangular ``(B, n, m)``
+    iterates (the batched SVD engine drives tall iterates through the
+    very same rounds; the accumulated transformation is always the
+    ``m x m`` of the column space).
     """
 
     def __init__(self, A0: np.ndarray, d: int,
                  compute_eigenvectors: bool) -> None:
-        num, m = A0.shape[0], A0.shape[1]
+        num, m = A0.shape[0], A0.shape[2]
         self.dist = BlockDistribution(m=m, d=d)
         self.A = A0.copy()
         if compute_eigenvectors:
@@ -443,6 +447,101 @@ class _SplitBackend:
 
 
 # ----------------------------------------------------------------------
+def run_batched_sweeps(A0, make_backend, get_schedule, extract_transform,
+                       tol, max_sweeps, with_transform, stats,
+                       raise_on_no_convergence):
+    """The shared per-matrix convergence/compaction driver of the
+    batched engines (eigen and SVD).
+
+    Runs ``max_sweeps`` schedule-shared sweeps over the batch, judging
+    convergence per matrix at sweep boundaries exactly like the
+    sequential loops: matrices already converged at entry finish at
+    sweep 0, converged matrices are extracted into the result and the
+    batch *compacts* so survivors stop paying for them, and an exhausted
+    budget extracts everything with per-matrix ``converged`` flags.
+    Keeping this loop in one place is what keeps the two engines'
+    bit-identity contracts from drifting apart.
+
+    Parameters
+    ----------
+    A0:
+        ``(B, n, m)`` stacked iterates (``n == m`` for the eigenpath).
+    make_backend:
+        ``(B', n, m) array -> backend`` with the ``run_sweep`` /
+        ``canonical`` / ``compact`` protocol.
+    get_schedule:
+        ``sweep_index -> schedule`` (``None`` for schedule-free
+        backends).
+    extract_transform:
+        ``(backend, positions) -> (len(positions), m, m) array or None``
+        — the accumulated transformations of the given batch positions.
+    with_transform:
+        Whether the accumulated transformation is tracked (identity for
+        matrices converged at entry).
+    stats:
+        :class:`~repro.jacobi.rotations.RotationStats` accumulator.
+
+    Returns
+    -------
+    (final_A, final_T, sweeps, converged, off_history)
+        Canonical iterates, accumulated transformations (``None`` when
+        ``with_transform`` is false), per-matrix sweep counts,
+        convergence flags and defect histories.
+    """
+    num, m = A0.shape[0], A0.shape[2]
+    sweeps = np.zeros(num, dtype=np.int64)
+    converged = np.ones(num, dtype=bool)
+    off_history: List[List[float]] = [[] for _ in range(num)]
+    final_A = np.empty_like(A0)
+    final_T = np.empty((num, m, m)) if with_transform else None
+    # Matrices already orthogonal at entry converge at sweep 0, like
+    # the sequential solvers' pre-loop check.
+    initial_off = np.array([offdiag_measure(A0[k]) for k in range(num)])
+    alive = np.flatnonzero(initial_off > tol)
+    for k in np.flatnonzero(initial_off <= tol):
+        final_A[k] = A0[k]
+        if final_T is not None:
+            final_T[k] = np.eye(m)
+    backend = make_backend(A0[alive]) if alive.size else None
+    sweep_index = 0
+    while alive.size and sweep_index < max_sweeps:
+        schedule = get_schedule(sweep_index)
+        backend.run_sweep(schedule, stats)
+        sweep_index += 1
+        Acan = backend.canonical()
+        offs = np.array([offdiag_measure(Acan[p])
+                         for p in range(alive.size)])
+        for pos, k in enumerate(alive):
+            off_history[k].append(float(offs[pos]))
+            sweeps[k] += 1
+        done = offs <= tol
+        out_of_budget = sweep_index >= max_sweeps
+        if done.any() or out_of_budget:
+            take = (np.arange(alive.size) if out_of_budget
+                    else np.flatnonzero(done))
+            Tcan = extract_transform(backend, take)
+            for idx, pos in enumerate(take):
+                k = int(alive[pos])
+                final_A[k] = Acan[pos]
+                if final_T is not None:
+                    final_T[k] = Tcan[idx]
+            if out_of_budget:
+                converged[alive[~done]] = False
+            alive = alive[~done]
+            if alive.size and not out_of_budget:
+                backend.compact(~done)
+    if not converged.all() and raise_on_no_convergence:
+        bad = np.flatnonzero(~converged)
+        worst = max(off_history[k][-1] for k in bad)
+        raise ConvergenceError(
+            f"{bad.size} of {num} matrices did not converge in "
+            f"{max_sweeps} sweeps (indices {bad.tolist()[:8]}, "
+            f"worst defect {worst:.3e})",
+            sweeps=max_sweeps, off_norm=worst)
+    return final_A, final_T, sweeps, converged, off_history
+
+
+# ----------------------------------------------------------------------
 class BatchedOneSidedJacobi:
     """One-sided Jacobi over a stack of matrices, one shared schedule.
 
@@ -510,57 +609,15 @@ class BatchedOneSidedJacobi:
         dist = BlockDistribution(m=m, d=d)
         backend_cls = _SplitBackend if dist.is_balanced else _IndexedBackend
         stats = RotationStats()
-        sweeps = np.zeros(num, dtype=np.int64)
-        converged = np.ones(num, dtype=bool)
-        off_history: List[List[float]] = [[] for _ in range(num)]
-        final_A = np.empty((num, m, m))
-        final_U = (np.empty((num, m, m)) if compute_eigenvectors else None)
-        # Matrices already orthogonal at entry converge at sweep 0, like
-        # the sequential solver's pre-loop check.
-        initial_off = np.array([offdiag_measure(A0[k]) for k in range(num)])
-        alive = np.flatnonzero(initial_off > self.tol)
-        for k in np.flatnonzero(initial_off <= self.tol):
-            final_A[k] = A0[k]
-            if final_U is not None:
-                final_U[k] = np.eye(m)
-        backend = (backend_cls(A0[alive], d, compute_eigenvectors)
-                   if alive.size else None)
-        sweep_index = 0
-        while alive.size and sweep_index < self.max_sweeps:
-            schedule = self.cache.get_schedule(self.ordering,
-                                               sweep=sweep_index)
-            backend.run_sweep(schedule, stats)
-            sweep_index += 1
-            Acan = backend.canonical()
-            offs = np.array([offdiag_measure(Acan[p])
-                             for p in range(alive.size)])
-            for pos, k in enumerate(alive):
-                off_history[k].append(float(offs[pos]))
-                sweeps[k] += 1
-            done = offs <= self.tol
-            out_of_budget = sweep_index >= self.max_sweeps
-            if done.any() or out_of_budget:
-                take = (np.arange(alive.size) if out_of_budget
-                        else np.flatnonzero(done))
-                Ucan = backend.extract_u(take)
-                for idx, pos in enumerate(take):
-                    k = int(alive[pos])
-                    final_A[k] = Acan[pos]
-                    if final_U is not None:
-                        final_U[k] = Ucan[idx]
-                if out_of_budget:
-                    converged[alive[~done]] = False
-                alive = alive[~done]
-                if alive.size and not out_of_budget:
-                    backend.compact(~done)
-        if not converged.all() and raise_on_no_convergence:
-            bad = np.flatnonzero(~converged)
-            worst = max(off_history[k][-1] for k in bad)
-            raise ConvergenceError(
-                f"{bad.size} of {num} matrices did not converge in "
-                f"{self.max_sweeps} sweeps (indices {bad.tolist()[:8]}, "
-                f"worst defect {worst:.3e})",
-                sweeps=self.max_sweeps, off_norm=worst)
+        final_A, final_U, sweeps, converged, off_history = \
+            run_batched_sweeps(
+                A0,
+                lambda stack: backend_cls(stack, d, compute_eigenvectors),
+                lambda sweep: self.cache.get_schedule(self.ordering,
+                                                      sweep=sweep),
+                lambda backend, take: backend.extract_u(take),
+                self.tol, self.max_sweeps, compute_eigenvectors, stats,
+                raise_on_no_convergence)
         lam = np.empty((num, m))
         if final_U is None:
             for k in range(num):

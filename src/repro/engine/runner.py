@@ -38,16 +38,21 @@ import numpy as np
 from ..jacobi.convergence import DEFAULT_TOL
 from ..jacobi.onesided import make_symmetric_test_matrix
 from ..jacobi.parallel import ParallelOneSidedJacobi
+from ..jacobi.svd import onesided_svd
 from ..orderings.base import get_ordering
 from .batched import BatchedOneSidedJacobi
 from .cache import GLOBAL_SCHEDULE_CACHE, ScheduleCache
+from .svd import BatchedOneSidedSVD
 
 __all__ = [
     "ENGINES",
     "ENSEMBLE_ORDERINGS",
     "EnsembleConfigResult",
+    "SvdEnsembleResult",
     "generate_ensemble",
+    "generate_svd_ensemble",
     "run_ensemble",
+    "run_svd_ensemble",
 ]
 
 #: Engines understood by :func:`run_ensemble`.
@@ -190,4 +195,92 @@ def run_ensemble(configs: Sequence[Tuple[int, int]],
                                          for A in matrices],
                                         dtype=np.int64)
         results.append(EnsembleConfigResult(m=m, P=P, sweeps=sweeps))
+    return results
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SvdEnsembleResult:
+    """Per-matrix sweep counts of one (n, m) SVD shape.
+
+    Attributes
+    ----------
+    n, m:
+        Matrix shape (``n`` rows, ``m`` columns, ``n >= m``).
+    sweeps:
+        ``(num_matrices,)`` int array of sweeps to convergence.
+    """
+
+    n: int
+    m: int
+    sweeps: np.ndarray
+
+    def mean_sweeps(self) -> float:
+        """Mean sweep count of the shape's ensemble."""
+        return float(np.mean(self.sweeps))
+
+
+def _check_shape(n: int, m: int) -> None:
+    if m < 1 or n < m:
+        raise ValueError(
+            f"SVD shapes need n >= m >= 1 (tall or square), got "
+            f"({n}, {m})")
+
+
+def generate_svd_ensemble(n: int, m: int, num_matrices: int,
+                          seed: int) -> np.ndarray:
+    """The seeded ``(num_matrices, n, m)`` test ensemble of one shape.
+
+    The rectangular twin of :func:`generate_ensemble`: an independent
+    ``default_rng((seed, n, m))`` per shape, matrices drawn in order,
+    entries uniform in ``[-1, 1]`` (no symmetrisation — SVD inputs are
+    general).
+    """
+    _check_shape(n, m)
+    rng = np.random.default_rng((seed, n, m))
+    return rng.uniform(-1.0, 1.0, size=(num_matrices, n, m))
+
+
+def run_svd_ensemble(shapes: Sequence[Tuple[int, int]],
+                     num_matrices: int = 30,
+                     seed: int = 1998,
+                     tol: float = DEFAULT_TOL,
+                     engine: str = "batched",
+                     max_sweeps: int = 60,
+                     workers: int = 0,
+                     shard_size: Optional[int] = None
+                     ) -> List[SvdEnsembleResult]:
+    """Sweeps-to-convergence of seeded random SVD ensembles per (n, m).
+
+    The SVD twin of :func:`run_ensemble`: every shape's seeded ensemble
+    runs through :class:`~repro.engine.svd.BatchedOneSidedSVD` in one
+    batch (``engine="batched"``, default) or through the historical loop
+    of per-matrix :func:`~repro.jacobi.svd.onesided_svd` solves
+    (``engine="sequential"``) — bit-identical sweep counts either way.
+    ``workers >= 1`` routes the run through the sharded service layer
+    (:func:`repro.service.pool.run_svd_ensemble_sharded`), still
+    bit-identical for every worker count and shard size.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")
+    if workers:
+        # Imported lazily: repro.service sits above this module.
+        from ..service.pool import run_svd_ensemble_sharded
+
+        return run_svd_ensemble_sharded(
+            shapes, num_matrices=num_matrices, seed=seed, tol=tol,
+            engine=engine, max_sweeps=max_sweeps, workers=workers,
+            shard_size=shard_size)
+    results: List[SvdEnsembleResult] = []
+    for n, m in shapes:
+        matrices = generate_svd_ensemble(n, m, num_matrices, seed)
+        if engine == "batched":
+            solver = BatchedOneSidedSVD(tol=tol, max_sweeps=max_sweeps)
+            sweeps = solver.count_sweeps(matrices)
+        else:
+            sweeps = np.array([onesided_svd(A, tol=tol,
+                                            max_sweeps=max_sweeps).sweeps
+                               for A in matrices], dtype=np.int64)
+        results.append(SvdEnsembleResult(n=int(n), m=int(m),
+                                         sweeps=sweeps))
     return results

@@ -1,0 +1,317 @@
+"""Batched multi-matrix one-sided Jacobi SVD engine.
+
+The one-sided method is natively an SVD algorithm (the BR ordering
+descends from Gao & Thomas's parallel Jacobi SVD, paper ref [7]), and
+everything that made the eigenpath batchable applies verbatim: the
+rotation kernels are vectorised over disjoint column pairs *and* over a
+leading batch axis, the pairing rounds are shared by every matrix of an
+ensemble, and convergence is judged per matrix at sweep boundaries.
+:class:`BatchedOneSidedSVD` stacks a list of same-shape tall (or square)
+matrices on a leading batch dimension and runs them all through one
+shared sweep schedule.
+
+Two modes, two sequential twins:
+
+* ``ordering=None`` (default) replays the *sequential* reference
+  :func:`~repro.jacobi.svd.onesided_svd` — the full round-robin pairing
+  rounds of :func:`~repro.jacobi.blocks.round_robin_rounds` over all
+  ``m`` columns per sweep — through the batched
+  :func:`~repro.jacobi.rotations.rotate_pairs`.  This is the service's
+  SVD traffic path.
+* ``ordering=<JacobiOrdering>`` replays the *simulated-machine*
+  :func:`~repro.jacobi.svd.parallel_svd`: the intra-block and
+  cross-block pairing rounds of the ordering's sweep schedule (pulled
+  from the shared :class:`~repro.engine.cache.ScheduleCache`), reusing
+  the eigen engine's :class:`~repro.engine.batched._IndexedBackend`
+  with a rectangular iterate.
+
+Bit-identical by construction
+-----------------------------
+Both modes are the *same arithmetic* as their per-matrix twin: identical
+pairing rounds, identical batched-kernel reductions and elementwise
+updates (pinned by the eigen engine's equivalence tests), identical
+per-matrix convergence checks at sweep boundaries, and a thin-SVD
+extraction vectorised across the batch whose every step (column norms,
+descending argsort, gathers, divides) is elementwise-equal to
+:func:`repro.jacobi.svd._extract_svd`.  Consequently ``U``, ``S``,
+``Vt``, sweep counts and convergence flags match
+``onesided_svd``/``parallel_svd`` bit for bit —
+``tests/test_svd_differential.py`` asserts exactly that.
+
+Rank-deficient matrices complete their zero-singular-value left vectors
+with a *fresh* seeded RNG per matrix (``fill_seed``), so the completion
+is independent of where the matrix sits in a batch — the same
+caller-seeded contract as :func:`~repro.jacobi.svd.onesided_svd`'s
+``fill_rng``.
+
+Like the eigen engine, the batch is *compacted* between sweeps:
+converged matrices are extracted into the result and stop paying for
+further rounds, while the survivors' columns are left bit-for-bit
+untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import ConvergenceError, SimulationError
+from ..jacobi.blocks import BlockDistribution, round_robin_rounds
+from ..jacobi.convergence import DEFAULT_TOL
+from ..jacobi.rotations import RotationStats, rotate_pairs
+from ..jacobi.svd import _complete_left_vectors
+from ..orderings.base import JacobiOrdering
+from ..orderings.sweep import SweepSchedule
+from .batched import _IndexedBackend, run_batched_sweeps
+from .cache import GLOBAL_SCHEDULE_CACHE, ScheduleCache
+
+__all__ = ["BatchedSvdResult", "BatchedOneSidedSVD", "stack_rect_matrices"]
+
+
+def stack_rect_matrices(matrices: Union[np.ndarray, Sequence[np.ndarray]]
+                        ) -> np.ndarray:
+    """Stack same-shape tall/square matrices into ``(B, n, m)``.
+
+    Accepts an already-stacked 3-D array (returned as float64, copied
+    only if a cast is needed) or any sequence of 2-D arrays.  Every
+    matrix must satisfy ``n >= m`` (the one-sided SVD's orientation;
+    pass ``A.T`` and swap U/V for wide matrices).
+    """
+    if isinstance(matrices, np.ndarray) and matrices.ndim == 3:
+        A = np.asarray(matrices, dtype=np.float64)
+    else:
+        mats = [np.asarray(M, dtype=np.float64) for M in matrices]
+        if not mats:
+            raise SimulationError("cannot solve an empty batch")
+        shapes = {M.shape for M in mats}
+        if len(shapes) != 1:
+            raise SimulationError(
+                f"batch requires same-shape matrices, got {sorted(shapes)}")
+        A = np.stack(mats)
+    if A.ndim != 3:
+        raise SimulationError(
+            f"batch of matrices expected, got shape {A.shape}")
+    if A.shape[0] == 0:
+        raise SimulationError("cannot solve an empty batch")
+    if A.shape[1] < A.shape[2]:
+        raise SimulationError(
+            f"one-sided SVD expects n >= m (tall or square); got batch "
+            f"shape {A.shape}; pass A.T and swap U/V for wide matrices")
+    return A
+
+
+@dataclass
+class BatchedSvdResult:
+    """Outcome of a batched thin-SVD solve.
+
+    Attributes
+    ----------
+    U:
+        ``(B, n, m)`` left singular vectors per matrix (thin SVD).
+    S:
+        ``(B, m)`` singular values, descending per matrix (LAPACK
+        convention), bit-identical to the per-matrix solver's.
+    Vt:
+        ``(B, m, m)`` transposed right singular vectors per matrix.
+    sweeps:
+        ``(B,)`` sweeps each matrix needed until convergence.
+    converged:
+        ``(B,)`` whether each matrix met the tolerance in budget.
+    off_history:
+        Per-matrix orthogonality defect after each of *its* sweeps.
+    stats:
+        Rotation work, summed over the batch.
+    """
+
+    U: np.ndarray
+    S: np.ndarray
+    Vt: np.ndarray
+    sweeps: np.ndarray
+    converged: np.ndarray
+    off_history: List[List[float]]
+    stats: RotationStats
+
+    @property
+    def batch_size(self) -> int:
+        """Number of matrices solved."""
+        return int(self.sweeps.shape[0])
+
+    def __len__(self) -> int:
+        return self.batch_size
+
+    def reconstruct(self) -> np.ndarray:
+        """``U @ diag(S) @ Vt`` per matrix — for testing round-trips."""
+        return (self.U * self.S[:, None, :]) @ self.Vt
+
+
+# ----------------------------------------------------------------------
+class _RoundRobinBackend:
+    """Replays :func:`~repro.jacobi.svd.onesided_svd`'s sweeps batched.
+
+    One sweep is the full circle-method round-robin over all ``m``
+    columns — exactly the rounds the sequential reference walks — with
+    every round executed as one batched
+    :func:`~repro.jacobi.rotations.rotate_pairs` call over the whole
+    surviving batch.
+    """
+
+    def __init__(self, A0: np.ndarray) -> None:
+        num, m = A0.shape[0], A0.shape[2]
+        self.A = A0.copy()
+        self.V = np.broadcast_to(np.eye(m), (num, m, m)).copy()
+        self._rounds = round_robin_rounds(m)
+
+    def run_sweep(self, schedule: Optional[SweepSchedule],
+                  stats: RotationStats) -> None:
+        for left, right in self._rounds:
+            stats.merge(rotate_pairs(self.A, self.V, left, right))
+
+    def canonical(self) -> np.ndarray:
+        """The iterate in canonical column order, C-contiguous per slice."""
+        return self.A
+
+    def extract_v(self, positions: np.ndarray) -> np.ndarray:
+        """Accumulated right transformations of given batch positions."""
+        return self.V[positions]
+
+    def compact(self, keep: np.ndarray) -> None:
+        """Shrink the batch to the matrices flagged in ``keep``."""
+        self.A = np.ascontiguousarray(self.A[keep])
+        self.V = np.ascontiguousarray(self.V[keep])
+
+
+class _OrderingBackend(_IndexedBackend):
+    """Replays :func:`~repro.jacobi.svd.parallel_svd`'s sweeps batched:
+    the eigen engine's indexed backend driving a rectangular iterate,
+    with the accumulated transformation read as ``V``."""
+
+    def __init__(self, A0: np.ndarray, d: int) -> None:
+        super().__init__(A0, d, compute_eigenvectors=True)
+
+    def extract_v(self, positions: np.ndarray) -> np.ndarray:
+        """Accumulated right transformations of given batch positions."""
+        return self.extract_u(positions)
+
+
+# ----------------------------------------------------------------------
+class BatchedOneSidedSVD:
+    """One-sided Jacobi SVD over a stack of matrices, one shared schedule.
+
+    Parameters
+    ----------
+    ordering:
+        ``None`` (default) replays the sequential
+        :func:`~repro.jacobi.svd.onesided_svd` round-robin sweeps;
+        a :class:`~repro.orderings.base.JacobiOrdering` replays the
+        simulated-machine :func:`~repro.jacobi.svd.parallel_svd` sweeps
+        of that ordering (requires ``m >= 2**(d+1)``).
+    tol:
+        Scaled column-orthogonality stopping tolerance, judged per
+        matrix.
+    max_sweeps:
+        Sweep budget per matrix.
+    cache:
+        Schedule memo for ordering mode; defaults to the process-level
+        :data:`~repro.engine.cache.GLOBAL_SCHEDULE_CACHE`.
+    fill_seed:
+        Seed of the *per-matrix* RNG completing zero-singular-value left
+        vectors of rank-deficient inputs (default 0, matching
+        :func:`~repro.jacobi.svd.onesided_svd`'s default).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(0)
+    >>> mats = [rng.normal(size=(12, 6)) for _ in range(3)]
+    >>> res = BatchedOneSidedSVD().solve(mats)
+    >>> ref = np.linalg.svd(mats[0], compute_uv=False)
+    >>> bool(np.allclose(res.S[0], ref, atol=1e-8))
+    True
+    """
+
+    def __init__(self, ordering: Optional[JacobiOrdering] = None,
+                 tol: float = DEFAULT_TOL,
+                 max_sweeps: int = 60,
+                 cache: Optional[ScheduleCache] = None,
+                 fill_seed: int = 0) -> None:
+        self.ordering = ordering
+        self.tol = float(tol)
+        self.max_sweeps = int(max_sweeps)
+        if self.max_sweeps < 1:
+            raise ConvergenceError("max_sweeps must be >= 1")
+        self.cache = cache if cache is not None else GLOBAL_SCHEDULE_CACHE
+        self.fill_seed = int(fill_seed)
+
+    def _make_backend(self, A0: np.ndarray):
+        if self.ordering is None:
+            return _RoundRobinBackend(A0)
+        return _OrderingBackend(A0, self.ordering.d)
+
+    def solve(self, matrices: Union[np.ndarray, Sequence[np.ndarray]],
+              raise_on_no_convergence: bool = True) -> BatchedSvdResult:
+        """Thin-SVD a batch of tall (or square) matrices.
+
+        Parameters
+        ----------
+        matrices:
+            ``(B, n, m)`` stack or sequence of ``B`` matrices with
+            ``n >= m`` (and ``m >= 2**(d+1)`` in ordering mode).
+        raise_on_no_convergence:
+            Raise if any matrix fails to converge within the budget.
+        """
+        A0 = stack_rect_matrices(matrices)
+        m = A0.shape[2]
+        if self.ordering is not None:
+            BlockDistribution(m=m, d=self.ordering.d)  # validates size
+        stats = RotationStats()
+        get_schedule = ((lambda sweep: None) if self.ordering is None
+                        else (lambda sweep: self.cache.get_schedule(
+                            self.ordering, sweep=sweep)))
+        final_A, final_V, sweeps, converged, off_history = \
+            run_batched_sweeps(
+                A0, self._make_backend, get_schedule,
+                lambda backend, take: backend.extract_v(take),
+                self.tol, self.max_sweeps, True, stats,
+                raise_on_no_convergence)
+        U, S, Vt = self._extract_batch(final_A, final_V)
+        return BatchedSvdResult(U=U, S=S, Vt=Vt, sweeps=sweeps,
+                                converged=converged,
+                                off_history=off_history, stats=stats)
+
+    # ------------------------------------------------------------------
+    def _extract_batch(self, AV: np.ndarray, V: np.ndarray):
+        """Thin-SVD extraction vectorised across the batch.
+
+        Every step — column norms, descending argsort, gathers, the
+        masked divide, the per-matrix orthonormal completion — performs
+        the same elementwise arithmetic on the same data as
+        :func:`repro.jacobi.svd._extract_svd` does per matrix, so the
+        factors are bit-identical to extracting one matrix at a time.
+        """
+        num, n, m = AV.shape
+        norms = np.linalg.norm(AV, axis=1)
+        order = np.argsort(norms, axis=1)[:, ::-1]  # descending S
+        S = np.take_along_axis(norms, order, axis=1)
+        V_sorted = np.take_along_axis(V, order[:, None, :], axis=2)
+        AV_sorted = np.take_along_axis(AV, order[:, None, :], axis=2)
+        scale = np.where(S[:, :1] > 0, S[:, :1], 1.0)
+        nonzero = S > scale * 1e-14
+        U = np.zeros((num, n, m))
+        np.divide(AV_sorted, S[:, None, :], out=U,
+                  where=nonzero[:, None, :])
+        # Rank-deficient matrices (rare) complete their zero columns one
+        # at a time, each with a fresh seeded RNG: the completion cannot
+        # depend on the batch layout.
+        for k in np.flatnonzero(nonzero.sum(axis=1) < m):
+            _complete_left_vectors(U[k], int(nonzero[k].sum()),
+                                   np.random.default_rng(self.fill_seed))
+        Vt = np.ascontiguousarray(np.transpose(V_sorted, (0, 2, 1)))
+        return U, S, Vt
+
+    def count_sweeps(self, matrices: Union[np.ndarray, Sequence[np.ndarray]]
+                     ) -> np.ndarray:
+        """Per-matrix sweeps to convergence (V still accumulated, as the
+        real algorithm would) — the SVD ensemble-bench primitive."""
+        return self.solve(matrices).sweeps

@@ -28,6 +28,7 @@ vectors completed via QR.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -86,9 +87,36 @@ def _check_input(A0: np.ndarray) -> np.ndarray:
     return A0
 
 
+def _complete_left_vectors(U: np.ndarray, k: int,
+                           rng: np.random.Generator) -> None:
+    """Fill columns ``k:`` of ``U`` in place with an orthonormal
+    completion of the basis ``U[:, :k]``.
+
+    The completion is "arbitrary but orthonormal": random vectors are
+    projected out of the span and orthonormalised via QR.  The caller
+    supplies the RNG, which is what makes the completion reproducible
+    and — crucially for the batched engine — independent of where the
+    rank-deficient matrix sits in a batch.
+    """
+    n, m = U.shape
+    basis = U[:, :k]
+    fill = rng.standard_normal((n, m - k))
+    fill -= basis @ (basis.T @ fill)
+    q, _ = np.linalg.qr(fill)
+    U[:, k:] = q[:, :m - k]
+
+
 def _extract_svd(AV: np.ndarray, V: np.ndarray, sweeps: int,
-                 converged: bool, trace: object = None) -> SvdResult:
-    """Build (U, S, Vt) from a converged iterate ``AV = A0 @ V``."""
+                 converged: bool, trace: object = None,
+                 rng: Optional[np.random.Generator] = None) -> SvdResult:
+    """Build (U, S, Vt) from a converged iterate ``AV = A0 @ V``.
+
+    ``rng`` seeds the orthonormal completion of zero-singular-value
+    columns; ``None`` uses a fresh ``default_rng(0)`` *per call*, so the
+    completion never depends on how many extractions ran before this one
+    (a shared RNG would make the "arbitrary" columns secretly
+    order-dependent across batch layouts).
+    """
     norms = np.linalg.norm(AV, axis=0)
     order = np.argsort(norms)[::-1]  # descending singular values
     S = norms[order]
@@ -101,13 +129,9 @@ def _extract_svd(AV: np.ndarray, V: np.ndarray, sweeps: int,
     # complete zero-singular-value columns to an orthonormal set
     k = int(nonzero.sum())
     if k < m:
-        # project random vectors out of the span and orthonormalise
-        rng = np.random.default_rng(0)
-        basis = U[:, :k]
-        fill = rng.standard_normal((n, m - k))
-        fill -= basis @ (basis.T @ fill)
-        q, _ = np.linalg.qr(fill)
-        U[:, k:] = q[:, :m - k]
+        if rng is None:
+            rng = np.random.default_rng(0)
+        _complete_left_vectors(U, k, rng)
     return SvdResult(U=U, S=S, Vt=V_sorted.T, sweeps=sweeps,
                      converged=converged, trace=trace)
 
@@ -115,7 +139,9 @@ def _extract_svd(AV: np.ndarray, V: np.ndarray, sweeps: int,
 def onesided_svd(A0: np.ndarray,
                  tol: float = DEFAULT_TOL,
                  max_sweeps: int = 60,
-                 raise_on_no_convergence: bool = True) -> SvdResult:
+                 raise_on_no_convergence: bool = True,
+                 fill_rng: Optional[np.random.Generator] = None
+                 ) -> SvdResult:
     """Thin SVD of a tall (or square) matrix by one-sided Jacobi.
 
     Parameters
@@ -127,6 +153,10 @@ def onesided_svd(A0: np.ndarray,
         drops below this.
     max_sweeps:
         Sweep budget.
+    fill_rng:
+        RNG seeding the orthonormal completion of zero-singular-value
+        left vectors on rank-deficient inputs (default: a fresh
+        ``default_rng(0)`` per call).
 
     Examples
     --------
@@ -151,14 +181,16 @@ def onesided_svd(A0: np.ndarray,
     if not converged and raise_on_no_convergence:
         raise ConvergenceError(
             f"SVD did not converge in {max_sweeps} sweeps", sweeps=sweeps)
-    return _extract_svd(AV, V, sweeps, converged)
+    return _extract_svd(AV, V, sweeps, converged, rng=fill_rng)
 
 
 def parallel_svd(A0: np.ndarray, ordering: JacobiOrdering,
                  machine: MachineParams = PAPER_MACHINE,
                  tol: float = DEFAULT_TOL,
                  max_sweeps: int = 60,
-                 raise_on_no_convergence: bool = True) -> SvdResult:
+                 raise_on_no_convergence: bool = True,
+                 fill_rng: Optional[np.random.Generator] = None
+                 ) -> SvdResult:
     """Thin SVD on the simulated multi-port hypercube.
 
     The column blocks of the iterate and of ``V`` are distributed two per
@@ -214,4 +246,5 @@ def parallel_svd(A0: np.ndarray, ordering: JacobiOrdering,
     if not converged and raise_on_no_convergence:
         raise ConvergenceError(
             f"SVD did not converge in {max_sweeps} sweeps", sweeps=sweeps)
-    return _extract_svd(AV, V, sweeps, converged, trace=trace)
+    return _extract_svd(AV, V, sweeps, converged, trace=trace,
+                        rng=fill_rng)

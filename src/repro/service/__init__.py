@@ -6,45 +6,62 @@ usable alone:
 * :mod:`repro.service.pool` — :class:`ShardedExecutor` fans ensemble
   work units (and oversized batches) out across spawn-safe worker
   processes with per-worker schedule-cache warm-up and a deterministic
-  merge; :func:`run_ensemble_sharded` is the sharded twin of
-  :func:`repro.engine.run_ensemble` (reachable as
-  ``run_ensemble(workers=N)``).
+  merge; :func:`run_ensemble_sharded` / :func:`run_svd_ensemble_sharded`
+  are the sharded twins of :func:`repro.engine.run_ensemble` /
+  :func:`repro.engine.run_svd_ensemble` (reachable as
+  ``run_ensemble(workers=N)`` / ``run_svd_ensemble(workers=N)``).
 * :mod:`repro.service.batcher` — :class:`MicroBatcher` groups streaming
   submissions by key and flushes micro-batches by size or deadline.
-* :mod:`repro.service.api` — :class:`JacobiService`, the facade:
-  ``submit(A) -> Future[SolveResult]``, ``solve_many``, queue and
-  throughput stats.
+* :mod:`repro.service.api` — :class:`JacobiService`, the facade serving
+  two traffic classes: ``submit(A) -> Future[SolveResult]`` for
+  symmetric eigenproblems and ``submit(A, kind="svd") ->
+  Future[SvdResult]`` for tall/square thin SVDs, with separate eigen/SVD
+  micro-batches, ``solve_many``, and queue/throughput stats per kind.
 
-Results are bit-identical to the in-process engines for every worker
-count, shard size and batching schedule — parallelism here is purely a
+Results are bit-identical to the in-process engines — and through them
+to the sequential per-matrix solvers (``ParallelOneSidedJacobi`` for
+eigen traffic, ``onesided_svd`` for SVD traffic) — for every worker
+count, shard size and batching schedule.  Parallelism here is purely a
 throughput knob, never an accuracy trade.
 """
 
-from .api import JacobiService, ServiceStats, SolveResult
+from .api import KINDS, JacobiService, ServiceStats, SolveResult, SvdResult
 from .batcher import FlushEvent, MicroBatcher
 from .pool import (
     ExecutorStats,
     ShardTask,
     ShardedExecutor,
+    SvdShardTask,
     default_worker_count,
     plan_shards,
+    plan_svd_shards,
     run_ensemble_sharded,
+    run_svd_ensemble_sharded,
     solve_batch_remote,
     solve_ensemble_shard,
+    solve_svd_batch_remote,
+    solve_svd_ensemble_shard,
 )
 
 __all__ = [
+    "KINDS",
     "JacobiService",
     "ServiceStats",
     "SolveResult",
+    "SvdResult",
     "FlushEvent",
     "MicroBatcher",
     "ShardTask",
+    "SvdShardTask",
     "ShardedExecutor",
     "ExecutorStats",
     "default_worker_count",
     "plan_shards",
+    "plan_svd_shards",
     "run_ensemble_sharded",
+    "run_svd_ensemble_sharded",
     "solve_batch_remote",
     "solve_ensemble_shard",
+    "solve_svd_batch_remote",
+    "solve_svd_ensemble_shard",
 ]

@@ -1,27 +1,39 @@
 """The solve-service facade: submit matrices, receive futures.
 
 :class:`JacobiService` is the traffic-serving front of the repo: callers
-:meth:`~JacobiService.submit` symmetric matrices as they arrive and get
-back a :class:`~concurrent.futures.Future` resolving to a per-matrix
-:class:`SolveResult`.  Behind the facade,
+:meth:`~JacobiService.submit` matrices as they arrive and get back a
+:class:`~concurrent.futures.Future` resolving to a per-matrix result.
+Two traffic classes share one service:
+
+* ``kind="eigen"`` (default) — symmetric matrices, resolving to a
+  :class:`SolveResult`, solved by
+  :class:`~repro.engine.batched.BatchedOneSidedJacobi` (bit-identical to
+  a sequential :class:`~repro.jacobi.parallel.ParallelOneSidedJacobi`
+  solve of the same matrix);
+* ``kind="svd"`` — tall or square general matrices, resolving to a
+  :class:`~repro.jacobi.svd.SvdResult`, solved by
+  :class:`~repro.engine.svd.BatchedOneSidedSVD` (bit-identical to
+  :func:`~repro.jacobi.svd.onesided_svd` of the same matrix).
+
+Behind the facade,
 
 * a :class:`~repro.service.batcher.MicroBatcher` groups submissions by
-  ``(m, ordering, d)`` and flushes micro-batches by size or deadline;
-* every flush is exactly one
-  :class:`~repro.engine.batched.BatchedOneSidedJacobi` call — run inline
-  by the dispatcher thread, or fanned out to a
+  kind-tagged keys — ``("eigen", m, ordering, d)`` /
+  ``("svd", n, m)`` — so eigen and SVD micro-batches flush separately,
+  each by size or deadline;
+* every flush is exactly one batched-engine call — run inline by the
+  dispatcher thread, or fanned out to a
   :class:`~repro.service.pool.ShardedExecutor` worker pool when the
   service was built with ``workers >= 2``;
-* per-matrix results are bit-identical to a sequential
-  :class:`~repro.jacobi.parallel.ParallelOneSidedJacobi` solve of the
-  same matrix (the engine's contract), so batching and sharding are pure
+* per-matrix results are bit-identical to the sequential twin of their
+  kind (the engines' contract), so batching and sharding are pure
   throughput knobs.
 
 A convergence miss is service data, not an exception: the future
-resolves to a :class:`SolveResult` with ``converged=False``.  Invalid
-submissions (non-symmetric, too small for the cube) are rejected
-synchronously at :meth:`~JacobiService.submit` so one bad matrix can
-never poison a micro-batch.
+resolves to a result with ``converged=False``.  Invalid submissions
+(non-symmetric eigen input, wide SVD input, too small for the cube) are
+rejected synchronously at :meth:`~JacobiService.submit` so one bad
+matrix can never poison a micro-batch.
 
 Example
 -------
@@ -31,9 +43,11 @@ Example
 >>> with JacobiService(d=1, max_batch=4, max_delay=0.01) as svc:
 ...     futures = [svc.submit(make_symmetric_test_matrix(8, rng=k))
 ...                for k in range(4)]
+...     fsvd = svc.submit(np.arange(12.0).reshape(4, 3), kind="svd")
 ...     sweeps = [f.result().sweeps for f in futures]
->>> len(sweeps)
-4
+...     S = fsvd.result().S
+>>> len(sweeps), S.shape
+(4, (3,))
 """
 
 from __future__ import annotations
@@ -48,11 +62,16 @@ import numpy as np
 
 from ..errors import SimulationError
 from ..jacobi.convergence import DEFAULT_TOL
+from ..jacobi.svd import SvdResult
 from ..orderings.base import get_ordering
 from .batcher import FLUSH_CAUSES, FlushEvent, MicroBatcher
-from .pool import ShardedExecutor, solve_batch_remote
+from .pool import ShardedExecutor, solve_batch_remote, solve_svd_batch_remote
 
-__all__ = ["SolveResult", "ServiceStats", "JacobiService"]
+__all__ = ["KINDS", "SolveResult", "SvdResult", "ServiceStats",
+           "JacobiService"]
+
+#: Traffic classes understood by :meth:`JacobiService.submit`.
+KINDS = ("eigen", "svd")
 
 
 @dataclass(frozen=True)
@@ -87,9 +106,11 @@ class ServiceStats:
     """Queue/throughput counters of a :class:`JacobiService`.
 
     ``flushes`` counts released micro-batches by cause (``size`` /
-    ``deadline`` / ``forced``); ``mean_batch_size`` is submitted items
-    per flush; ``throughput`` is completed solves per second since the
-    first submission (0.0 before any work completes).
+    ``deadline`` / ``forced``); ``submitted_by_kind`` splits the
+    submission counter per traffic class (``eigen`` / ``svd``);
+    ``mean_batch_size`` is submitted items per flush; ``throughput`` is
+    completed solves per second since the first submission (0.0 before
+    any work completes).
     """
 
     submitted: int
@@ -97,6 +118,7 @@ class ServiceStats:
     failed: int
     queue_depth: int
     flushes: Dict[str, int]
+    submitted_by_kind: Dict[str, int]
     batches: int
     mean_batch_size: float
     workers: int
@@ -111,16 +133,19 @@ class _Item:
 
 
 class JacobiService:
-    """Streaming eigensolver service over the batched engine.
+    """Streaming eigen/SVD solve service over the batched engines.
 
     Parameters
     ----------
     d:
-        Default hypercube dimension (``2**d`` simulated nodes).
+        Default hypercube dimension (``2**d`` simulated nodes) of the
+        eigen traffic class.
     ordering:
-        Default ordering family name (any registered family).
+        Default ordering family name (any registered family) of the
+        eigen traffic class.
     tol, max_sweeps:
-        Convergence tolerance and per-matrix sweep budget.
+        Convergence tolerance and per-matrix sweep budget (shared by
+        both traffic classes).
     max_batch, max_delay:
         Micro-batching knobs (see
         :class:`~repro.service.batcher.MicroBatcher`).
@@ -128,9 +153,10 @@ class JacobiService:
         ``0``/``1`` solves flushes on the dispatcher thread; ``>= 2``
         fans them out to that many worker processes.
     compute_eigenvectors:
-        Accumulate eigenvectors (disable for sweep-count-only traffic;
-        results then carry eigenvalue magnitudes, not signs — see
-        :class:`SolveResult`).
+        Accumulate eigenvectors for eigen traffic (disable for
+        sweep-count-only traffic; results then carry eigenvalue
+        magnitudes, not signs — see :class:`SolveResult`).  SVD traffic
+        always carries its full (U, S, Vt) factors.
     executor:
         Optionally share a pre-built
         :class:`~repro.service.pool.ShardedExecutor`; it is then not
@@ -173,6 +199,7 @@ class JacobiService:
         self._completed = 0
         self._failed = 0
         self._flushes = {cause: 0 for cause in FLUSH_CAUSES}
+        self._submitted_by_kind = {kind: 0 for kind in KINDS}
         self._batched_items = 0
         self._first_submit: Optional[float] = None
 
@@ -196,6 +223,19 @@ class JacobiService:
                 "one-sided Jacobi requires a symmetric matrix")
         return A
 
+    def _validate_svd(self, A: np.ndarray) -> np.ndarray:
+        # Same copy-on-submit contract as the eigen path.
+        A = np.array(A, dtype=np.float64, copy=True)
+        if A.ndim != 2:
+            raise SimulationError(
+                f"service expects one matrix per submit, got shape "
+                f"{A.shape}")
+        if A.shape[0] < A.shape[1]:
+            raise SimulationError(
+                f"one-sided SVD expects n >= m (tall or square); got "
+                f"{A.shape}; pass A.T and swap U/V for wide matrices")
+        return A
+
     def _ensure_thread(self) -> None:
         if self._thread is None or not self._thread.is_alive():
             self._thread = threading.Thread(
@@ -203,38 +243,58 @@ class JacobiService:
                 daemon=True)
             self._thread.start()
 
-    def submit(self, A: np.ndarray, *, ordering: Optional[str] = None,
-               d: Optional[int] = None) -> "Future[SolveResult]":
-        """Queue one symmetric matrix; resolve to its
-        :class:`SolveResult`.
+    def submit(self, A: np.ndarray, *, kind: str = "eigen",
+               ordering: Optional[str] = None,
+               d: Optional[int] = None) -> "Future[Any]":
+        """Queue one matrix; resolve to its per-matrix result.
 
-        ``ordering``/``d`` override the service defaults per submission;
-        matrices are micro-batched by ``(m, ordering, d)``, so mixed
-        traffic shapes coexist on one service.
+        ``kind="eigen"`` (default) queues a symmetric matrix and
+        resolves to a :class:`SolveResult`; ``ordering``/``d`` override
+        the service defaults per submission.  ``kind="svd"`` queues a
+        tall/square general matrix and resolves to an
+        :class:`~repro.jacobi.svd.SvdResult` bit-identical to
+        :func:`~repro.jacobi.svd.onesided_svd` (``ordering``/``d`` do
+        not apply and are rejected).  Matrices are micro-batched by
+        kind-tagged keys — ``("eigen", m, ordering, d)`` /
+        ``("svd", n, m)`` — so mixed traffic coexists on one service and
+        the two classes never share a flush.
         """
-        name = self.ordering if ordering is None else str(ordering)
-        dim = self.d if d is None else int(d)
-        get_ordering(name, dim)  # validate before queueing
-        A = self._validate(A, dim)
-        future: "Future[SolveResult]" = Future()
+        if kind not in KINDS:
+            raise SimulationError(
+                f"unknown traffic kind {kind!r}; known: {KINDS}")
+        if kind == "svd":
+            if ordering is not None or d is not None:
+                raise SimulationError(
+                    "SVD traffic runs the sequential-equivalent "
+                    "round-robin engine; ordering/d do not apply")
+            A = self._validate_svd(A)
+            key = ("svd",) + A.shape
+        else:
+            name = self.ordering if ordering is None else str(ordering)
+            dim = self.d if d is None else int(d)
+            get_ordering(name, dim)  # validate before queueing
+            A = self._validate(A, dim)
+            key = ("eigen", A.shape[0], name, dim)
+        future: "Future[Any]" = Future()
         with self._cond:
             if self._closed:
                 raise SimulationError("service is closed")
             if self._first_submit is None:
                 self._first_submit = self._clock()
             self._submitted += 1
+            self._submitted_by_kind[kind] += 1
             self._inflight += 1
-            self._batcher.submit((A.shape[0], name, dim),
-                                 _Item(matrix=A, future=future))
+            self._batcher.submit(key, _Item(matrix=A, future=future))
             self._ensure_thread()
             self._cond.notify_all()
         return future
 
     def solve_many(self, matrices: Sequence[np.ndarray], *,
+                   kind: str = "eigen",
                    ordering: Optional[str] = None,
-                   d: Optional[int] = None) -> List[SolveResult]:
+                   d: Optional[int] = None) -> List[Any]:
         """Submit a whole sequence, force a flush, wait for the results."""
-        futures = [self.submit(A, ordering=ordering, d=d)
+        futures = [self.submit(A, kind=kind, ordering=ordering, d=d)
                    for A in matrices]
         self.flush()
         return [f.result() for f in futures]
@@ -271,25 +331,34 @@ class JacobiService:
         # Every exit of this method must settle or fail the items: an
         # escaped exception would kill the dispatcher thread and leave
         # the pending futures (and close()) hanging forever.
-        _, name, dim = event.key
+        kind = event.key[0]
         items = list(event.items)
         with self._cond:
             self._flushes[event.cause] += 1
             self._batched_items += len(items)
         try:
-            payload = {
-                "matrices": np.stack([item.matrix for item in items]),
-                "ordering": name, "d": dim, "tol": self.tol,
-                "max_sweeps": self.max_sweeps,
-                "compute_eigenvectors": self.compute_eigenvectors,
-            }
+            matrices = np.stack([item.matrix for item in items])
+            if kind == "svd":
+                solve = solve_svd_batch_remote
+                payload = {
+                    "matrices": matrices, "tol": self.tol,
+                    "max_sweeps": self.max_sweeps,
+                }
+            else:
+                _, _, name, dim = event.key
+                solve = solve_batch_remote
+                payload = {
+                    "matrices": matrices, "ordering": name, "d": dim,
+                    "tol": self.tol, "max_sweeps": self.max_sweeps,
+                    "compute_eigenvectors": self.compute_eigenvectors,
+                }
             if (self._executor is not None
                     and self._executor.uses_processes):
-                fut = self._executor.submit(solve_batch_remote, payload)
+                fut = self._executor.submit(solve, payload)
                 fut.add_done_callback(
                     lambda f, its=items: self._complete_remote(its, f))
                 return
-            out = solve_batch_remote(payload)
+            out = solve(payload)
         except BaseException as exc:  # noqa: BLE001 - futures carry it
             self._fail(items, exc)
             return
@@ -309,11 +378,17 @@ class JacobiService:
             # Build the result outside the guard: a malformed backend
             # payload must fail the future loudly, never be swallowed.
             try:
-                result = SolveResult(
-                    eigenvalues=out["eigenvalues"][k],
-                    eigenvectors=out["eigenvectors"][k],
-                    sweeps=int(out["sweeps"][k]),
-                    converged=bool(out["converged"][k]))
+                if "S" in out:  # SVD traffic class
+                    result: Any = SvdResult(
+                        U=out["U"][k], S=out["S"][k], Vt=out["Vt"][k],
+                        sweeps=int(out["sweeps"][k]),
+                        converged=bool(out["converged"][k]))
+                else:
+                    result = SolveResult(
+                        eigenvalues=out["eigenvalues"][k],
+                        eigenvectors=out["eigenvectors"][k],
+                        sweeps=int(out["sweeps"][k]),
+                        converged=bool(out["converged"][k]))
             except Exception as exc:
                 self._fail(items[k:], exc)
                 items = items[:k]
@@ -351,6 +426,7 @@ class JacobiService:
                 failed=self._failed,
                 queue_depth=self._batcher.pending(),
                 flushes=dict(self._flushes),
+                submitted_by_kind=dict(self._submitted_by_kind),
                 batches=batches,
                 mean_batch_size=(self._batched_items / batches
                                  if batches else 0.0),

@@ -3,9 +3,12 @@
 The batched engine is fastest when it sees many same-shape matrices at
 once, but a *service* receives matrices one at a time.
 :class:`MicroBatcher` is the traffic shaper between the two: items are
-queued per key (the service keys by ``(m, ordering, d)`` so every flush
-is one :class:`~repro.engine.batched.BatchedOneSidedJacobi` call) and a
-group is released when it
+queued per key — the service keys by kind-tagged tuples,
+``("eigen", m, ordering, d)`` or ``("svd", n, m)``, so every flush is
+exactly one batched-engine call of one traffic class
+(:class:`~repro.engine.batched.BatchedOneSidedJacobi` or
+:class:`~repro.engine.svd.BatchedOneSidedSVD`) — and a group is
+released when it
 
 * reaches ``max_batch`` items (a **size** flush — full batches, maximum
   throughput), or

@@ -49,12 +49,17 @@ from ..orderings.base import get_ordering
 __all__ = [
     "DEFAULT_WARM_SWEEPS",
     "ShardTask",
+    "SvdShardTask",
     "ExecutorStats",
     "ShardedExecutor",
     "plan_shards",
+    "plan_svd_shards",
     "solve_ensemble_shard",
+    "solve_svd_ensemble_shard",
     "solve_batch_remote",
+    "solve_svd_batch_remote",
     "run_ensemble_sharded",
+    "run_svd_ensemble_sharded",
     "default_worker_count",
 ]
 
@@ -122,7 +127,7 @@ def solve_ensemble_shard(task: ShardTask,
 
 
 def solve_batch_remote(payload: Dict[str, Any]) -> Dict[str, np.ndarray]:
-    """Worker entry point for service flushes: solve a shipped batch.
+    """Worker entry point for eigen service flushes: solve a shipped batch.
 
     ``payload`` carries the stacked matrices plus the solver spec
     (``ordering``/``d``/``tol``/``max_sweeps``/``compute_eigenvectors``);
@@ -142,6 +147,25 @@ def solve_batch_remote(payload: Dict[str, Any]) -> Dict[str, np.ndarray]:
             "eigenvectors": res.eigenvectors,
             "sweeps": res.sweeps,
             "converged": res.converged}
+
+
+def solve_svd_batch_remote(payload: Dict[str, Any]) -> Dict[str, np.ndarray]:
+    """Worker entry point for SVD service flushes: thin-SVD a shipped batch.
+
+    The SVD twin of :func:`solve_batch_remote`: the batch rides the
+    round-robin mode of :class:`~repro.engine.svd.BatchedOneSidedSVD`,
+    whose per-matrix factors are bit-identical to
+    :func:`~repro.jacobi.svd.onesided_svd`.  Convergence misses are data
+    (``converged`` flags), never raised.
+    """
+    from ..engine.svd import BatchedOneSidedSVD
+
+    solver = BatchedOneSidedSVD(tol=payload["tol"],
+                                max_sweeps=payload["max_sweeps"])
+    res = solver.solve(payload["matrices"],
+                       raise_on_no_convergence=False)
+    return {"U": res.U, "S": res.S, "Vt": res.Vt,
+            "sweeps": res.sweeps, "converged": res.converged}
 
 
 def _warm_worker(specs: Tuple[Tuple[str, int], ...],
@@ -264,6 +288,21 @@ class ShardedExecutor:
 
 
 # ----------------------------------------------------------------------
+def _resolve_shard_size(units: int, num_matrices: int, workers: int,
+                        shard_size: Optional[int]) -> int:
+    """Matrices per work unit: whole ensembles unless splitting is
+    needed to occupy the workers (or the caller forces a size)."""
+    if shard_size is None:
+        if workers >= 2 and 0 < units < workers:
+            pieces = math.ceil(workers / units)
+            shard_size = max(1, math.ceil(num_matrices / pieces))
+        else:
+            shard_size = num_matrices
+    if shard_size < 1:
+        raise SimulationError(f"shard_size must be >= 1, got {shard_size}")
+    return shard_size
+
+
 def plan_shards(configs: Sequence[Tuple[int, int]],
                 orderings: Sequence[str],
                 num_matrices: int,
@@ -288,15 +327,8 @@ def plan_shards(configs: Sequence[Tuple[int, int]],
     if num_matrices < 1:
         raise SimulationError(
             f"num_matrices must be >= 1, got {num_matrices}")
-    if shard_size is None:
-        units = len(configs) * len(orderings)
-        if workers >= 2 and 0 < units < workers:
-            pieces = math.ceil(workers / units)
-            shard_size = max(1, math.ceil(num_matrices / pieces))
-        else:
-            shard_size = num_matrices
-    if shard_size < 1:
-        raise SimulationError(f"shard_size must be >= 1, got {shard_size}")
+    shard_size = _resolve_shard_size(len(configs) * len(orderings),
+                                     num_matrices, workers, shard_size)
     plan: List[Tuple[int, ShardTask]] = []
     for ci, (m, P) in enumerate(configs):
         for name in orderings:
@@ -387,6 +419,134 @@ def run_ensemble_sharded(configs: Sequence[Tuple[int, int]],
         results.append(EnsembleConfigResult(m=int(m), P=int(P),
                                             sweeps=sweeps))
     return results
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SvdShardTask:
+    """One picklable SVD work unit: a slice of one (n, m) ensemble.
+
+    Like :class:`ShardTask`, matrices are regenerated from their seeded
+    stream inside the worker (never shipped) and sliced ``[lo:hi]``, so
+    every shard sees exactly the matrices the in-process path would
+    have given it.
+    """
+
+    n: int
+    m: int
+    lo: int
+    hi: int
+    num_matrices: int
+    seed: int
+    tol: float
+    max_sweeps: int
+    engine: str
+
+    @property
+    def batch_size(self) -> int:
+        """Matrices this shard solves."""
+        return self.hi - self.lo
+
+
+def solve_svd_ensemble_shard(task: SvdShardTask) -> np.ndarray:
+    """Worker entry point: sweep counts of one SVD shard (``(hi-lo,)``).
+
+    Bit-identical to the corresponding slice of the in-process
+    :func:`~repro.engine.runner.run_svd_ensemble` result.
+    """
+    from ..engine.runner import generate_svd_ensemble
+    from ..engine.svd import BatchedOneSidedSVD
+    from ..jacobi.svd import onesided_svd
+
+    matrices = generate_svd_ensemble(task.n, task.m, task.num_matrices,
+                                     task.seed)[task.lo:task.hi]
+    if task.engine == "batched":
+        solver = BatchedOneSidedSVD(tol=task.tol,
+                                    max_sweeps=task.max_sweeps)
+        return solver.count_sweeps(matrices)
+    return np.array([onesided_svd(A, tol=task.tol,
+                                  max_sweeps=task.max_sweeps).sweeps
+                     for A in matrices], dtype=np.int64)
+
+
+def plan_svd_shards(shapes: Sequence[Tuple[int, int]],
+                    num_matrices: int,
+                    workers: int,
+                    shard_size: Optional[int] = None,
+                    *,
+                    seed: int = 1998,
+                    tol: float = DEFAULT_TOL,
+                    max_sweeps: int = 60,
+                    engine: str = "batched"
+                    ) -> List[Tuple[int, SvdShardTask]]:
+    """Decompose an SVD ensemble run into ordered ``(shape_index, task)``
+    work units — one per shape by default, split into contiguous chunks
+    when that would leave workers idle.  Plan order is merge order.
+    """
+    if num_matrices < 1:
+        raise SimulationError(
+            f"num_matrices must be >= 1, got {num_matrices}")
+    shard_size = _resolve_shard_size(len(shapes), num_matrices, workers,
+                                     shard_size)
+    plan: List[Tuple[int, SvdShardTask]] = []
+    for si, (n, m) in enumerate(shapes):
+        for lo in range(0, num_matrices, shard_size):
+            hi = min(lo + shard_size, num_matrices)
+            plan.append((si, SvdShardTask(
+                n=int(n), m=int(m), lo=lo, hi=hi,
+                num_matrices=num_matrices, seed=seed, tol=tol,
+                max_sweeps=max_sweeps, engine=engine)))
+    return plan
+
+
+def run_svd_ensemble_sharded(shapes: Sequence[Tuple[int, int]],
+                             num_matrices: int = 30,
+                             seed: int = 1998,
+                             tol: float = DEFAULT_TOL,
+                             engine: str = "batched",
+                             max_sweeps: int = 60,
+                             workers: int = 1,
+                             shard_size: Optional[int] = None,
+                             mp_context: str = "spawn",
+                             executor: Optional[ShardedExecutor] = None
+                             ) -> List["Any"]:
+    """Sharded twin of :func:`repro.engine.runner.run_svd_ensemble`.
+
+    Fans the run's SVD shard plan across ``workers`` processes (inline
+    when ``workers <= 1``) and merges the per-shard sweep counts back
+    into per-shape results in plan order — bit-identical to the
+    in-process path for every ``workers``/``shard_size`` choice.  The
+    round-robin SVD engine needs no schedule warm-up, so workers start
+    cold-cache without a miss penalty.
+
+    An ``executor`` may be passed to reuse a warm pool across calls; it
+    is then *not* shut down here.
+    """
+    from ..engine.runner import ENGINES, SvdEnsembleResult, _check_shape
+
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")
+    for n, m in shapes:
+        _check_shape(n, m)
+    plan_workers = executor.workers if executor is not None else workers
+    plan = plan_svd_shards(shapes, num_matrices, plan_workers, shard_size,
+                           seed=seed, tol=tol, max_sweeps=max_sweeps,
+                           engine=engine)
+    own = executor is None
+    executor = executor if executor is not None else ShardedExecutor(
+        workers, mp_context=mp_context)
+    try:
+        outs = executor.map_ordered(solve_svd_ensemble_shard,
+                                    [task for _, task in plan])
+    finally:
+        if own:
+            executor.shutdown()
+    chunks: Dict[int, List[np.ndarray]] = {}
+    for (si, _task), arr in zip(plan, outs):
+        chunks.setdefault(si, []).append(arr)
+    return [SvdEnsembleResult(n=int(n), m=int(m),
+                              sweeps=np.concatenate(chunks[si]))
+            for si, (n, m) in enumerate(shapes)]
 
 
 def default_worker_count() -> int:

@@ -51,6 +51,34 @@ class TestCommands:
         assert baseline.split("\n(")[0] == sharded.split("\n(")[0]
         assert "workers: 2" in sharded
 
+    def test_svd_bench_small(self, capsys):
+        assert main(["svd-bench", "--shapes", "16x8,12x12",
+                     "--matrices", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "SVD ensembles" in out and "16x8" in out
+        assert "lapack" in out
+
+    def test_svd_bench_workers_matches_in_process(self, capsys):
+        assert main(["svd-bench", "--shapes", "16x8",
+                     "--matrices", "2"]) == 0
+        baseline = capsys.readouterr().out
+        assert main(["svd-bench", "--shapes", "16x8", "--matrices", "2",
+                     "--workers", "2"]) == 0
+        sharded = capsys.readouterr().out
+
+        def sweeps_cols(text):
+            # mean-sweeps and range columns are deterministic; wall-clock
+            # derived columns are not
+            return [" ".join(line.split("|")[2:4])
+                    for line in text.splitlines() if "|" in line]
+
+        assert sweeps_cols(baseline) == sweeps_cols(sharded)
+        assert "workers: 2" in sharded
+
+    def test_svd_bench_rejects_bad_shapes(self):
+        with pytest.raises(ValueError, match="NxM"):
+            main(["svd-bench", "--shapes", "16by8"])
+
     def test_figure2_small(self, capsys):
         assert main(["figure2", "--dims", "5..6", "--m-exponents", "18",
                      "--no-chart"]) == 0

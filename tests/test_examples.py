@@ -32,6 +32,8 @@ EXAMPLE_ARGS = {
                              "--max-batch", "3"],
     "svd_low_rank.py": ["--n", "32", "--m", "16", "--rank", "2",
                         "--d", "2"],
+    "svd_service.py": ["--count", "6", "--n", "24", "--m", "12",
+                       "--d", "2", "--max-batch", "3"],
 }
 
 

@@ -38,6 +38,21 @@ GOLDEN_TABLE2_M16_P4 = {"br": 6.8, "permuted-br": 6.8, "degree4": 6.8}
 #: Same for the (m=32, P=8) configuration.
 GOLDEN_TABLE2_M32_P8 = {"br": 8.0, "permuted-br": 8.0, "degree4": 8.0}
 
+#: Per-matrix sweep counts of the seeded SVD ensembles (5 matrices,
+#: seed 1998, default tol) per (n, m) shape — the SVD engine's seeded
+#: convergence behaviour, pinned exactly.
+GOLDEN_SVD_SWEEPS = {
+    (24, 16): [5, 6, 5, 6, 6],
+    (32, 32): [7, 7, 7, 7, 7],
+    (48, 16): [6, 6, 6, 6, 6],
+}
+
+#: Leading singular values of the first seeded (24, 16) ensemble matrix
+#: (seed 1998), pinned to 1e-9 — tighter than any legitimate numerical
+#: drift, loose enough to survive BLAS/platform variation.
+GOLDEN_SVD_TOP5_S_24x16 = [5.0831077413, 4.4202544784, 4.2671788258,
+                           4.1308275813, 3.1683247802]
+
 
 class TestGoldenTable1:
     def test_pinned_alphas(self):
@@ -98,3 +113,36 @@ class TestGoldenTable2:
         A = make_symmetric_test_matrix(16, rng=1998)
         res = ParallelOneSidedJacobi(get_ordering("degree4", 2)).solve(A)
         assert np.abs(res.eigenvalues - np.linalg.eigh(A)[0]).max() < 1e-10
+
+
+class TestGoldenSvdEnsembles:
+    """Seeded SVD ensemble pins: engine refactors cannot silently drift
+    the SVD path's convergence behaviour or its factors."""
+
+    def test_pinned_sweep_counts(self):
+        from repro.engine import run_svd_ensemble
+
+        shapes = sorted(GOLDEN_SVD_SWEEPS)
+        results = run_svd_ensemble(shapes, num_matrices=5, seed=1998)
+        got = {(r.n, r.m): r.sweeps.tolist() for r in results}
+        assert got == GOLDEN_SVD_SWEEPS
+
+    def test_pinned_sweeps_engine_independent(self):
+        from repro.engine import run_svd_ensemble
+
+        batched = run_svd_ensemble([(24, 16)], num_matrices=5, seed=1998,
+                                   engine="batched")
+        sequential = run_svd_ensemble([(24, 16)], num_matrices=5,
+                                      seed=1998, engine="sequential")
+        assert batched[0].sweeps.tolist() == sequential[0].sweeps.tolist()
+        assert batched[0].sweeps.tolist() == GOLDEN_SVD_SWEEPS[(24, 16)]
+
+    def test_pinned_singular_values(self):
+        from repro.engine import generate_svd_ensemble
+        from repro.engine.svd import BatchedOneSidedSVD
+
+        A = generate_svd_ensemble(24, 16, 1, 1998)[0]
+        S = BatchedOneSidedSVD(tol=1e-11).solve(A[None]).S[0]
+        assert S[:5] == pytest.approx(GOLDEN_SVD_TOP5_S_24x16, abs=1e-9)
+        # and the whole spectrum stays glued to LAPACK
+        assert np.abs(S - np.linalg.svd(A, compute_uv=False)).max() < 1e-10

@@ -6,9 +6,11 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.engine.svd import BatchedOneSidedSVD
 from repro.jacobi import (
     make_symmetric_test_matrix,
     onesided_jacobi,
+    onesided_svd,
     rotation_angles,
 )
 from repro.jacobi.blocks import cross_block_rounds, round_robin_rounds
@@ -73,6 +75,57 @@ def test_cross_rounds_exact_coverage(b1, b2):
             assert (a, b) not in seen
             seen.add((a, b))
     assert len(seen) == b1 * b2
+
+
+# ----------------------------------------------------------------------
+# SVD path properties
+
+svd_shapes = st.tuples(st.integers(2, 12), st.integers(0, 12)).map(
+    lambda t: (t[0] + t[1], t[0]))  # (n, m) with n >= m
+
+
+@given(svd_shapes, seeds, st.integers(1, 4))
+@settings(max_examples=20, deadline=None)
+def test_svd_batched_is_bit_identical_to_per_matrix(shape, seed, batch):
+    """The batched SVD engine is the sequential reference's arithmetic:
+    any batch of any shape must reproduce per-matrix onesided_svd
+    bit for bit (U, S, Vt, sweep counts, convergence flags)."""
+    n, m = shape
+    rng = np.random.default_rng(seed)
+    mats = [rng.normal(size=(n, m)) for _ in range(batch)]
+    res = BatchedOneSidedSVD(tol=1e-11).solve(mats)
+    for k, A in enumerate(mats):
+        s = onesided_svd(A, tol=1e-11)
+        assert np.array_equal(s.U, res.U[k])
+        assert np.array_equal(s.S, res.S[k])
+        assert np.array_equal(s.Vt, res.Vt[k])
+        assert s.sweeps == res.sweeps[k]
+        assert s.converged == bool(res.converged[k])
+
+
+@given(svd_shapes, seeds)
+@settings(max_examples=20, deadline=None)
+def test_svd_singular_values_descending_and_nonnegative(shape, seed):
+    """S is always sorted descending and >= 0 (LAPACK convention)."""
+    n, m = shape
+    A = np.random.default_rng(seed).normal(size=(n, m))
+    res = onesided_svd(A, tol=1e-11)
+    assert np.all(res.S >= 0.0)
+    assert np.all(np.diff(res.S) <= 1e-12 * max(1.0, float(res.S[0])))
+
+
+@given(svd_shapes, seeds, seeds)
+@settings(max_examples=20, deadline=None)
+def test_svd_invariant_under_column_permutation(shape, seed, perm_seed):
+    """Permuting A's columns permutes V but cannot change the spectrum:
+    S(A P) == S(A) up to roundoff."""
+    n, m = shape
+    A = np.random.default_rng(seed).normal(size=(n, m))
+    perm = np.random.default_rng(perm_seed).permutation(m)
+    base = onesided_svd(A, tol=1e-11)
+    permuted = onesided_svd(A[:, perm], tol=1e-11)
+    scale = max(1.0, float(base.S[0]))
+    assert np.abs(base.S - permuted.S).max() < 1e-8 * scale
 
 
 @given(st.integers(2, 16), seeds)

@@ -16,6 +16,7 @@ import pytest
 
 from repro.errors import SimulationError
 from repro.jacobi import ParallelOneSidedJacobi, make_symmetric_test_matrix
+from repro.jacobi.svd import onesided_svd
 from repro.orderings import get_ordering
 from repro.service import JacobiService
 
@@ -23,6 +24,20 @@ from repro.service import JacobiService
 def _mats(m, count, seed=0):
     return [make_symmetric_test_matrix(m, rng=(seed, k))
             for k in range(count)]
+
+
+def _rect_mats(n, m, count, seed=0):
+    rng = np.random.default_rng((seed, n, m))
+    return [rng.normal(size=(n, m)) for _ in range(count)]
+
+
+def _assert_svd_identical(A, r, **solver_kwargs):
+    s = onesided_svd(A, raise_on_no_convergence=False, **solver_kwargs)
+    assert np.array_equal(s.U, r.U)
+    assert np.array_equal(s.S, r.S)
+    assert np.array_equal(s.Vt, r.Vt)
+    assert s.sweeps == r.sweeps
+    assert s.converged == r.converged
 
 
 class TestBitIdentity:
@@ -68,6 +83,109 @@ class TestBitIdentity:
             assert np.array_equal(r.eigenvalues, s.eigenvalues)
             assert np.array_equal(r.eigenvectors, s.eigenvectors)
             assert r.sweeps == s.sweeps
+
+
+class TestSvdTraffic:
+    """The second traffic class: submit(A, kind="svd") must be
+    bit-identical to onesided_svd for every worker count, shard size
+    and micro-batch schedule — including when eigen and SVD
+    submissions interleave on one service instance."""
+
+    def test_solve_many_matches_onesided_svd(self):
+        mats = _rect_mats(24, 16, 5)
+        with JacobiService(d=2, max_batch=3, max_delay=0.01) as svc:
+            results = svc.solve_many(mats, kind="svd")
+        for A, r in zip(mats, results):
+            _assert_svd_identical(A, r)
+
+    @pytest.mark.parametrize("max_batch", (1, 2, 100))
+    def test_bit_identical_across_micro_batch_schedules(self, max_batch):
+        mats = _rect_mats(16, 8, 5, seed=1)
+        with JacobiService(d=1, max_batch=max_batch,
+                           max_delay=60.0) as svc:
+            results = svc.solve_many(mats, kind="svd")
+        for A, r in zip(mats, results):
+            _assert_svd_identical(A, r)
+
+    def test_mixed_eigen_and_svd_interleaved(self):
+        """The acceptance grid: eigen and SVD submissions interleave on
+        one service; each resolves against its own sequential twin."""
+        eig = _mats(16, 3, seed=2)
+        svd = _rect_mats(24, 16, 3, seed=2)
+        sq = _rect_mats(8, 8, 2, seed=3)
+        with JacobiService(d=2, max_batch=4, max_delay=0.01) as svc:
+            futures = []
+            for k in range(3):  # interleave the kinds submission by
+                futures.append((svc.submit(eig[k]), "eigen", eig[k]))
+                futures.append((svc.submit(svd[k], kind="svd"), "svd",
+                                svd[k]))
+            for A in sq:
+                futures.append((svc.submit(A, kind="svd"), "svd", A))
+            svc.flush()
+            resolved = [(f.result(), kind, A) for f, kind, A in futures]
+            st = svc.stats()
+        seq = ParallelOneSidedJacobi(get_ordering("degree4", 2))
+        for r, kind, A in resolved:
+            if kind == "eigen":
+                s = seq.solve(A)
+                assert np.array_equal(s.eigenvalues, r.eigenvalues)
+                assert np.array_equal(s.eigenvectors, r.eigenvectors)
+            else:
+                _assert_svd_identical(A, r)
+        assert st.submitted_by_kind == {"eigen": 3, "svd": 5}
+        assert st.completed == 8 and st.failed == 0
+
+    @pytest.mark.parametrize("workers", (0, 2))
+    def test_worker_pool_bit_identical(self, workers):
+        mats = _rect_mats(24, 16, 4, seed=4)
+        eig = _mats(16, 2, seed=4)
+        with JacobiService(d=2, workers=workers, max_batch=2,
+                           max_delay=0.5) as svc:
+            fs = [svc.submit(A, kind="svd") for A in mats]
+            fe = [svc.submit(A) for A in eig]
+            svc.flush()
+            rs = [f.result() for f in fs]
+            re = [f.result() for f in fe]
+        for A, r in zip(mats, rs):
+            _assert_svd_identical(A, r)
+        seq = ParallelOneSidedJacobi(get_ordering("degree4", 2))
+        for A, r in zip(eig, re):
+            assert np.array_equal(seq.solve(A).eigenvalues, r.eigenvalues)
+
+    def test_convergence_miss_is_data_not_exception(self):
+        with JacobiService(d=1, max_sweeps=1, tol=1e-15,
+                           max_delay=0.01) as svc:
+            (res,) = svc.solve_many(_rect_mats(12, 8, 1), kind="svd")
+        assert not res.converged
+        assert res.sweeps == 1
+        _assert_svd_identical(_rect_mats(12, 8, 1)[0], res,
+                              tol=1e-15, max_sweeps=1)
+
+    def test_rejects_wide_matrix(self):
+        with JacobiService(d=1) as svc:
+            with pytest.raises(SimulationError, match="n >= m"):
+                svc.submit(np.zeros((4, 8)), kind="svd")
+
+    def test_rejects_ordering_override(self):
+        with JacobiService(d=1) as svc:
+            with pytest.raises(SimulationError, match="do not apply"):
+                svc.submit(np.zeros((8, 4)), kind="svd", ordering="br")
+            with pytest.raises(SimulationError, match="do not apply"):
+                svc.submit(np.zeros((8, 4)), kind="svd", d=1)
+
+    def test_rejects_unknown_kind(self):
+        with JacobiService(d=1) as svc:
+            with pytest.raises(SimulationError, match="unknown traffic"):
+                svc.submit(np.eye(8), kind="schur")
+
+    def test_svd_submit_copies_the_matrix(self):
+        buf = _rect_mats(12, 8, 1, seed=5)[0]
+        expected = onesided_svd(buf).S
+        with JacobiService(d=1, max_batch=100, max_delay=60.0) as svc:
+            fut = svc.submit(buf, kind="svd")
+            buf[:] = 0.0  # clobber before the flush
+            svc.flush()
+            assert np.array_equal(fut.result(timeout=30.0).S, expected)
 
 
 class TestFlushTriggers:

@@ -94,3 +94,39 @@ class TestParallelSvd:
     def test_rejects_wide(self, rng):
         with pytest.raises(SimulationError):
             parallel_svd(rng.normal(size=(8, 16)), get_ordering("br", 1))
+
+
+class TestFillRng:
+    """Regression: the rank-deficiency completion must be caller-seeded
+    — reproducible by default, overridable, never shared across calls."""
+
+    def _deficient(self, rng):
+        base = rng.normal(size=(12, 3))
+        return base @ rng.normal(size=(3, 6))
+
+    def test_default_is_reproducible_across_calls(self, rng):
+        A = self._deficient(rng)
+        # a fresh default RNG per call: repeated solves cannot drift
+        assert np.array_equal(onesided_svd(A, tol=1e-12).U,
+                              onesided_svd(A, tol=1e-12).U)
+
+    def test_explicit_rng_changes_only_the_null_space(self, rng):
+        A = self._deficient(rng)
+        base = onesided_svd(A, tol=1e-12)
+        other = onesided_svd(A, tol=1e-12,
+                             fill_rng=np.random.default_rng(42))
+        assert np.array_equal(base.S, other.S)
+        assert np.array_equal(base.Vt, other.Vt)
+        assert np.array_equal(base.U[:, :3], other.U[:, :3])
+        assert not np.array_equal(base.U[:, 3:], other.U[:, 3:])
+        assert np.abs(other.U.T @ other.U - np.eye(6)).max() < 1e-8
+
+    def test_parallel_svd_honours_fill_rng(self, rng):
+        A = self._deficient(rng)
+        ordering = get_ordering("br", 1)
+        base = parallel_svd(A, ordering, tol=1e-12)
+        reseeded = parallel_svd(A, ordering, tol=1e-12,
+                                fill_rng=np.random.default_rng(42))
+        assert np.array_equal(base.S, reseeded.S)
+        assert not np.array_equal(base.U[:, 3:], reseeded.U[:, 3:])
+        assert np.abs(reseeded.reconstruct() - A).max() < 1e-9
