@@ -1,0 +1,82 @@
+"""Benchmark: adaptive micro-batching vs fixed settings under live load.
+
+Replays the seeded open-loop ``trickle`` and ``bursty`` scenarios of
+:mod:`repro.analysis.loadgen` against the two fixed baselines and the
+adaptive controller (same traces, same matrices), asserting the
+adaptive service escapes each baseline's failure mode:
+
+* **trickle**: the throughput-tuned baseline (``b=16 d=50ms``) makes
+  every matrix wait out a 50 ms deadline; the adaptive run must land a
+  post-warm-up p99 latency at most ``REPRO_BENCH_ADAPTIVE_P99_FACTOR``
+  (default 0.8) of it.
+* **bursty**: the latency-tuned baseline (``b=2 d=2ms``) caps batches
+  far below the 32-wide arrival spikes; the adaptive run must deliver
+  at least ``REPRO_BENCH_ADAPTIVE_TP_FACTOR`` (default 1.2) times its
+  throughput.
+
+Both floors are generous against the locally measured margins (~3x
+each) and deliberately use their own environment variables, so
+relaxing them for a loaded CI runner never weakens the engine/service
+benchmarks (and vice versa).  The replays are single-process
+(``workers=0``) so the comparison measures batching policy, not
+multiprocessing.
+
+Run::
+
+    pytest benchmarks/test_bench_adaptive.py -s
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.loadgen import compute_load_bench, render_load_bench
+
+P99_FACTOR = float(os.environ.get("REPRO_BENCH_ADAPTIVE_P99_FACTOR",
+                                  "0.8"))
+TP_FACTOR = float(os.environ.get("REPRO_BENCH_ADAPTIVE_TP_FACTOR", "1.2"))
+
+
+def _pick(rows, scenario, label_prefix):
+    (row,) = [r for r in rows if r.scenario == scenario
+              and r.label.startswith(label_prefix)]
+    return row
+
+
+@pytest.fixture(scope="module")
+def rows():
+    out = compute_load_bench(scenario_names=("trickle", "bursty"))
+    print("\n" + render_load_bench(out))
+    return out
+
+
+def test_adaptive_beats_fixed_delay_on_trickle_p99(rows):
+    """Deadline-dominated traffic: the tuned delay must beat the fixed
+    50 ms deadline on steady-state p99 latency."""
+    fixed = _pick(rows, "trickle", "fixed b=16")
+    adaptive = _pick(rows, "trickle", "adaptive")
+    assert adaptive.retunes > 0, "controller never retuned on trickle"
+    print(f"trickle p99: fixed {fixed.p99_ms:.1f}ms, adaptive "
+          f"{adaptive.p99_ms:.1f}ms "
+          f"({adaptive.p99_ms / fixed.p99_ms:.2f}x, floor "
+          f"{P99_FACTOR}x)")
+    assert adaptive.p99_ms <= fixed.p99_ms * P99_FACTOR, (
+        f"adaptive p99 {adaptive.p99_ms:.1f}ms not below "
+        f"{P99_FACTOR} * fixed {fixed.p99_ms:.1f}ms on trickle")
+
+
+def test_adaptive_beats_fixed_batch_on_bursty_throughput(rows):
+    """Saturating traffic: the grown batch ceiling must beat the fixed
+    2-wide batches on delivered throughput."""
+    fixed = _pick(rows, "bursty", "fixed b=2")
+    adaptive = _pick(rows, "bursty", "adaptive")
+    assert adaptive.retunes > 0, "controller never retuned on bursty"
+    print(f"bursty throughput: fixed {fixed.throughput:.1f}/s, adaptive "
+          f"{adaptive.throughput:.1f}/s "
+          f"({adaptive.throughput / fixed.throughput:.2f}x, floor "
+          f"{TP_FACTOR}x)")
+    assert adaptive.throughput >= fixed.throughput * TP_FACTOR, (
+        f"adaptive throughput {adaptive.throughput:.1f}/s not above "
+        f"{TP_FACTOR} * fixed {fixed.throughput:.1f}/s on bursty")

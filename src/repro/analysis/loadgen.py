@@ -1,0 +1,523 @@
+"""Load-generator harness: fixed vs adaptive batching under live load.
+
+The service benchmarks elsewhere in the repo measure *closed* loops —
+hand the engine an ensemble, time the run.  This module measures the
+:class:`~repro.service.JacobiService` the way production traffic hits
+it: **open-loop** replay of a seeded arrival trace.  Each scenario is a
+deterministic schedule of ``(arrival time, traffic kind, shape)``
+tuples; the replayer submits every matrix at its scheduled instant
+(never waiting for earlier results, so a slow service accumulates
+backlog exactly like a real queue) and measures, per item, the time
+from *scheduled arrival* to future resolution — which charges
+coordinated omission to the service, not the generator.
+
+Four traffic shapes are bundled, chosen to pull the batching knobs in
+opposite directions:
+
+* ``trickle`` — sparse arrivals; batches never fill, so a fixed
+  ``max_delay`` is pure added latency;
+* ``bursty`` — arrival spikes above the small-batch solve capacity, so
+  a fixed ``max_batch`` caps throughput;
+* ``bimodal`` — the matrix shape flips between regimes, exercising
+  per-key tuning;
+* ``mixed`` — interleaved eigen and SVD submissions, exercising both
+  traffic classes at once.
+
+:func:`compute_load_bench` replays every scenario against each fixed
+setting and against the adaptive controller (same seeded matrices, same
+trace), reporting post-warm-up p50/p99 latency and overall throughput —
+this is what ``repro-jacobi load-bench`` renders and what CI uploads as
+an artifact.  Percentiles exclude a leading warm-up fraction of the
+trace (default 20%): the adaptive service *starts* at its fixed
+configuration and needs a few tuning windows to converge, and steady
+state is what the latency comparison is about.  Throughput is measured
+over the whole run, warm-up included.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..jacobi.convergence import DEFAULT_TOL
+from ..jacobi.onesided import make_symmetric_test_matrix
+from ..service import JacobiService, TuningBounds
+from .report import render_table
+
+__all__ = [
+    "Arrival",
+    "Scenario",
+    "SCENARIOS",
+    "FixedSetting",
+    "FIXED_SETTINGS",
+    "ADAPTIVE_START",
+    "ADAPTIVE_BOUNDS",
+    "LoadResult",
+    "build_trace",
+    "build_matrices",
+    "replay",
+    "compute_load_bench",
+    "render_load_bench",
+    "results_to_json",
+]
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One scheduled submission of a load trace.
+
+    Attributes
+    ----------
+    at:
+        Seconds after the replay starts at which the submission fires.
+    kind:
+        Traffic class (``"eigen"`` or ``"svd"``).
+    n, m:
+        Matrix shape: eigen matrices are ``(m, m)`` symmetric, SVD
+        matrices are ``(n, m)`` tall/square.
+    """
+
+    at: float
+    kind: str
+    n: int
+    m: int
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, seeded arrival-trace generator.
+
+    Attributes
+    ----------
+    name:
+        CLI-facing identifier (``trickle`` / ``bursty`` / ...).
+    description:
+        One line on the traffic shape and what it stresses.
+    default_items:
+        Trace length when the caller does not override it.
+    build:
+        ``(items, rng) -> list of Arrival`` — must be a pure function
+        of its arguments so a seed pins the whole trace.
+    """
+
+    name: str
+    description: str
+    default_items: int
+    build: Callable[[int, np.random.Generator], List[Arrival]]
+
+
+def _trickle(items: int, rng: np.random.Generator) -> List[Arrival]:
+    """Sparse eigen arrivals: exponential gaps (mean 30 ms) longer than
+    any sensible deadline, so batches never fill."""
+    t, out = 0.0, []
+    for _ in range(items):
+        t += float(rng.exponential(0.03))
+        out.append(Arrival(at=t, kind="eigen", n=16, m=16))
+    return out
+
+
+def _bursty(items: int, rng: np.random.Generator) -> List[Arrival]:
+    """Arrival spikes: bursts of 32 eigen matrices every 60 ms — above
+    the small-batch solve capacity, so backlog builds unless batches
+    grow."""
+    out = []
+    burst = 32
+    for k in range(items):
+        out.append(Arrival(at=(k // burst) * 0.06, kind="eigen",
+                           n=24, m=24))
+    return out
+
+
+def _bimodal(items: int, rng: np.random.Generator) -> List[Arrival]:
+    """Shape regimes: blocks of 10 arrivals alternate between small
+    (8x8) and large (24x24) eigen matrices — two keys, each needing its
+    own tuning."""
+    t, out = 0.0, []
+    for k in range(items):
+        t += float(rng.exponential(0.008))
+        m = 8 if (k // 10) % 2 == 0 else 24
+        out.append(Arrival(at=t, kind="eigen", n=m, m=m))
+    return out
+
+
+def _mixed(items: int, rng: np.random.Generator) -> List[Arrival]:
+    """Both traffic classes on one service: eigen 16x16 and SVD 24x12
+    submissions interleave with exponential gaps (mean 15 ms)."""
+    t, out = 0.0, []
+    for k in range(items):
+        t += float(rng.exponential(0.015))
+        if k % 2 == 0:
+            out.append(Arrival(at=t, kind="eigen", n=16, m=16))
+        else:
+            out.append(Arrival(at=t, kind="svd", n=24, m=12))
+    return out
+
+
+#: The bundled scenarios, in report order.
+SCENARIOS: Tuple[Scenario, ...] = (
+    Scenario("trickle",
+             "sparse arrivals; fixed max_delay is pure added latency",
+             40, _trickle),
+    Scenario("bursty",
+             "32-wide spikes above small-batch capacity; fixed "
+             "max_batch caps throughput",
+             160, _bursty),
+    Scenario("bimodal",
+             "matrix shape flips between regimes; per-key tuning",
+             60, _bimodal),
+    Scenario("mixed",
+             "interleaved eigen and SVD traffic classes",
+             40, _mixed),
+)
+
+
+@dataclass(frozen=True)
+class FixedSetting:
+    """One fixed ``(max_batch, max_delay)`` baseline.
+
+    Attributes
+    ----------
+    label:
+        Report label.
+    max_batch, max_delay:
+        The batcher limits, held constant for the whole replay.
+    """
+
+    label: str
+    max_batch: int
+    max_delay: float
+
+
+#: Fixed baselines every scenario is replayed against: a
+#: throughput-tuned setting (large batches, long deadline) and a
+#: latency-tuned one (small batches, short deadline).  Each is the
+#: wrong constant for at least one scenario — that is the point.
+FIXED_SETTINGS: Tuple[FixedSetting, ...] = (
+    FixedSetting("fixed b=16 d=50ms", 16, 0.05),
+    FixedSetting("fixed b=2 d=2ms", 2, 0.002),
+)
+
+#: Where the adaptive run starts (a deliberate middle ground).
+ADAPTIVE_START = FixedSetting("adaptive b=4 d=20ms", 4, 0.02)
+
+#: The envelope the adaptive run may tune within.
+ADAPTIVE_BOUNDS = TuningBounds(min_batch=1, max_batch=64,
+                               min_delay=0.0005, max_delay=0.05)
+
+#: Tuning window of the adaptive replays (small: the traces are short).
+ADAPTIVE_WINDOW = 5
+
+
+@dataclass(frozen=True)
+class LoadResult:
+    """One (scenario, setting) replay outcome.
+
+    Attributes
+    ----------
+    scenario, label:
+        Which trace, which batching setting.
+    items:
+        Submissions replayed.
+    measured:
+        Items in the post-warm-up latency sample.
+    p50_ms, p99_ms:
+        Latency percentiles (scheduled arrival -> future resolution) of
+        the post-warm-up sample, in milliseconds.
+    throughput:
+        Completed solves per second over the whole replay (first
+        scheduled arrival to last resolution).
+    flushes:
+        Released micro-batches by cause.
+    mean_batch_size:
+        Submitted items per flush.
+    retunes:
+        Applied tuning decisions (0 for fixed settings).
+    final_limits:
+        Per-key ``(max_batch, max_delay)`` overrides at the end of the
+        replay (empty for fixed settings).
+    tuning:
+        The applied tuning trace as plain dicts (``t`` is seconds into
+        the replay), JSON-ready; empty for fixed settings.
+    """
+
+    scenario: str
+    label: str
+    items: int
+    measured: int
+    p50_ms: float
+    p99_ms: float
+    throughput: float
+    flushes: Dict[str, int]
+    mean_batch_size: float
+    retunes: int
+    final_limits: Dict[str, Tuple[int, float]] = field(default_factory=dict)
+    tuning: List[Dict[str, Any]] = field(default_factory=list)
+
+
+def build_trace(scenario: Scenario, items: Optional[int] = None,
+                seed: int = 0) -> List[Arrival]:
+    """Generate one scenario's deterministic arrival trace.
+
+    Parameters
+    ----------
+    scenario:
+        The :class:`Scenario` to expand.
+    items:
+        Trace length override (``None`` uses the scenario default).
+    seed:
+        RNG seed; the same ``(scenario, items, seed)`` always yields
+        the same trace.
+
+    Returns
+    -------
+    list of Arrival
+        Sorted by scheduled time.
+    """
+    items = scenario.default_items if items is None else int(items)
+    if items < 1:
+        raise SimulationError(f"items must be >= 1, got {items}")
+    rng = np.random.default_rng((seed,) + tuple(scenario.name.encode()))
+    return scenario.build(items, rng)
+
+
+def build_matrices(arrivals: Sequence[Arrival],
+                   seed: int = 0) -> List[np.ndarray]:
+    """Pre-generate the seeded matrix per arrival.
+
+    Parameters
+    ----------
+    arrivals:
+        The trace to materialise matrices for.
+    seed:
+        Matrix RNG seed (independent of the trace's timing seed).
+
+    Returns
+    -------
+    list of ndarray
+        One matrix per arrival — symmetric ``(m, m)`` for eigen
+        entries, Gaussian ``(n, m)`` for SVD entries.  Generating up
+        front keeps matrix construction out of the timed replay loop,
+        and every setting replays the *same* matrices.
+    """
+    mats: List[np.ndarray] = []
+    for i, a in enumerate(arrivals):
+        if a.kind == "eigen":
+            mats.append(make_symmetric_test_matrix(a.m, rng=(seed, i)))
+        else:
+            rng = np.random.default_rng((seed, i))
+            mats.append(rng.normal(size=(a.n, a.m)))
+    return mats
+
+
+def replay(arrivals: Sequence[Arrival], matrices: Sequence[np.ndarray],
+           *, scenario: str, label: str, max_batch: int, max_delay: float,
+           adaptive: bool = False,
+           tuning_bounds: Optional[TuningBounds] = None,
+           tuning_window: int = ADAPTIVE_WINDOW,
+           warmup_frac: float = 0.2, d: int = 2,
+           tol: float = DEFAULT_TOL, timeout: float = 120.0) -> LoadResult:
+    """Open-loop replay of one trace against one service configuration.
+
+    Parameters
+    ----------
+    arrivals, matrices:
+        The trace and its pre-generated matrices (same length).
+    scenario, label:
+        Report tags carried into the :class:`LoadResult`.
+    max_batch, max_delay:
+        The service's (initial) batching limits.
+    adaptive:
+        Let the service tune its own limits during the replay.
+    tuning_bounds:
+        Envelope for the adaptive controller (defaults to
+        :data:`ADAPTIVE_BOUNDS` when ``adaptive``).
+    tuning_window:
+        Hysteresis window of the adaptive controller.
+    warmup_frac:
+        Leading fraction of the trace excluded from the latency
+        percentiles (steady-state measurement; throughput still covers
+        the whole run).
+    d:
+        Hypercube dimension of the eigen traffic class.
+    tol:
+        Convergence tolerance.
+    timeout:
+        Seconds to wait for the replay's futures before giving up.
+
+    Returns
+    -------
+    LoadResult
+        Post-warm-up p50/p99 latency, overall throughput, flush
+        counters and the tuning outcome.
+    """
+    if len(arrivals) != len(matrices):
+        raise SimulationError(
+            f"trace and matrices disagree: {len(arrivals)} arrivals, "
+            f"{len(matrices)} matrices")
+    n = len(arrivals)
+    done_at: List[Optional[float]] = [None] * n
+    # Completion is tracked through the callbacks, not wait(futures):
+    # a future notifies waiters *before* running its callbacks, so
+    # waiting on the futures could observe done_at entries still None.
+    remaining = [n]
+    remaining_lock = threading.Lock()
+    all_marked = threading.Event()
+
+    def _mark(i: int) -> Callable[[Any], None]:
+        def cb(_fut: Any) -> None:
+            done_at[i] = time.monotonic()
+            with remaining_lock:
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    all_marked.set()
+        return cb
+
+    bounds = (tuning_bounds if tuning_bounds is not None
+              else ADAPTIVE_BOUNDS) if adaptive else None
+    with JacobiService(d=d, tol=tol, max_batch=max_batch,
+                       max_delay=max_delay, adaptive=adaptive,
+                       tuning_bounds=bounds,
+                       tuning_window=tuning_window) as svc:
+        t0 = time.monotonic()
+        for i, (a, A) in enumerate(zip(arrivals, matrices)):
+            lag = t0 + a.at - time.monotonic()
+            if lag > 0:
+                time.sleep(lag)
+            fut = (svc.submit(A) if a.kind == "eigen"
+                   else svc.submit(A, kind="svd"))
+            fut.add_done_callback(_mark(i))
+        if not all_marked.wait(timeout):
+            raise SimulationError(
+                f"{remaining[0]} of {n} futures unresolved after "
+                f"{timeout:.0f}s")
+        stats = svc.stats()
+    lat = np.array([done_at[i] - (t0 + arrivals[i].at) for i in range(n)])
+    skip = int(np.ceil(warmup_frac * n)) if n > 1 else 0
+    sample = lat[skip:] if skip < n else lat
+    makespan = max(done_at) - t0 - arrivals[0].at
+    return LoadResult(
+        scenario=scenario, label=label, items=n, measured=int(sample.size),
+        p50_ms=float(np.percentile(sample, 50) * 1e3),
+        p99_ms=float(np.percentile(sample, 99) * 1e3),
+        throughput=(n / makespan if makespan > 0 else 0.0),
+        flushes=dict(stats.flushes),
+        mean_batch_size=stats.mean_batch_size,
+        retunes=len(stats.tuning),
+        final_limits={repr(k): v for k, v in stats.limits.items()},
+        tuning=[{"t": round(ev.time - t0, 4), "key": repr(ev.key),
+                 "batch": [ev.batch_from, ev.batch_to],
+                 "delay": [ev.delay_from, ev.delay_to],
+                 "reason": ev.reason}
+                for ev in stats.tuning])
+
+
+def compute_load_bench(scenario_names: Optional[Sequence[str]] = None,
+                       items: Optional[int] = None,
+                       seed: int = 0,
+                       warmup_frac: float = 0.2) -> List[LoadResult]:
+    """Replay the scenario grid against every setting.
+
+    Parameters
+    ----------
+    scenario_names:
+        Scenario subset to run (``None`` = all of :data:`SCENARIOS`).
+    items:
+        Per-scenario trace-length override (``None`` = scenario
+        defaults).
+    seed:
+        Seed for both trace timing and matrix content.
+    warmup_frac:
+        Warm-up fraction excluded from the latency percentiles.
+
+    Returns
+    -------
+    list of LoadResult
+        Scenario-major, settings in :data:`FIXED_SETTINGS` order with
+        the adaptive run last — what
+        :func:`render_load_bench` tabulates.
+    """
+    by_name = {s.name: s for s in SCENARIOS}
+    if scenario_names is None:
+        chosen = list(SCENARIOS)
+    else:
+        unknown = [name for name in scenario_names if name not in by_name]
+        if unknown:
+            raise SimulationError(
+                f"unknown scenario(s) {unknown}; known: "
+                f"{sorted(by_name)}")
+        chosen = [by_name[name] for name in scenario_names]
+    results: List[LoadResult] = []
+    for scenario in chosen:
+        arrivals = build_trace(scenario, items=items, seed=seed)
+        matrices = build_matrices(arrivals, seed=seed)
+        for setting in FIXED_SETTINGS:
+            results.append(replay(
+                arrivals, matrices, scenario=scenario.name,
+                label=setting.label, max_batch=setting.max_batch,
+                max_delay=setting.max_delay, warmup_frac=warmup_frac))
+        results.append(replay(
+            arrivals, matrices, scenario=scenario.name,
+            label=ADAPTIVE_START.label,
+            max_batch=ADAPTIVE_START.max_batch,
+            max_delay=ADAPTIVE_START.max_delay, adaptive=True,
+            warmup_frac=warmup_frac))
+    return results
+
+
+def render_load_bench(rows: Sequence[LoadResult]) -> str:
+    """ASCII table of a load-bench run.
+
+    Parameters
+    ----------
+    rows:
+        The :func:`compute_load_bench` results.
+
+    Returns
+    -------
+    str
+        One table row per (scenario, setting) replay.
+    """
+    body = [[r.scenario, r.label, r.items,
+             f"{r.p50_ms:,.1f}", f"{r.p99_ms:,.1f}",
+             f"{r.throughput:,.1f}",
+             f"{r.flushes.get('size', 0)}/{r.flushes.get('deadline', 0)}"
+             f"/{r.flushes.get('forced', 0)}",
+             f"{r.mean_batch_size:.1f}", r.retunes]
+            for r in rows]
+    return render_table(
+        ["scenario", "setting", "items", "p50 ms", "p99 ms", "solves/s",
+         "flushes s/d/f", "mean b", "retunes"],
+        body, title="Micro-batching under live load: fixed vs adaptive")
+
+
+def results_to_json(rows: Sequence[LoadResult], *, seed: int,
+                    warmup_frac: float) -> str:
+    """Serialise a load-bench run for persistence.
+
+    Parameters
+    ----------
+    rows:
+        The :func:`compute_load_bench` results.
+    seed, warmup_frac:
+        The run parameters, recorded alongside the rows so a report is
+        reproducible from its own header.
+
+    Returns
+    -------
+    str
+        Pretty-printed JSON (this is what the CI artifact contains).
+    """
+    return json.dumps({
+        "benchmark": "load-bench",
+        "seed": seed,
+        "warmup_frac": warmup_frac,
+        "fixed_settings": [asdict(s) for s in FIXED_SETTINGS],
+        "adaptive_start": asdict(ADAPTIVE_START),
+        "results": [asdict(r) for r in rows],
+    }, indent=2)

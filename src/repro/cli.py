@@ -8,6 +8,8 @@ Usage (after ``pip install -e .``)::
                         [--workers W]
     repro-jacobi svd-bench [--shapes 32x8,64x16] [--matrices N]
                            [--engine E] [--workers W]
+    repro-jacobi load-bench [--scenarios trickle,bursty] [--items N]
+                            [--json PATH]
     repro-jacobi figure2 [--dims 5..15] [--m-exponents 18,23,32]
     repro-jacobi appendix
     repro-jacobi sequences [--max-e E]
@@ -90,6 +92,31 @@ def _cmd_svd_bench(args: argparse.Namespace) -> int:
     print(f"\n(matrices per shape: {args.matrices}, tol: {args.tol:g}, "
           f"seed: {args.seed}, engine: {args.engine}, "
           f"workers: {workers or 'in-process'})")
+    return 0
+
+
+def _cmd_load_bench(args: argparse.Namespace) -> int:
+    from .analysis.loadgen import (
+        compute_load_bench,
+        render_load_bench,
+        results_to_json,
+    )
+
+    scenarios = (None if args.scenarios is None
+                 else [s.strip() for s in args.scenarios.split(",")
+                       if s.strip()])
+    rows = compute_load_bench(scenario_names=scenarios, items=args.items,
+                              seed=args.seed, warmup_frac=args.warmup)
+    print(render_load_bench(rows))
+    print(f"\n(seed: {args.seed}, warm-up excluded from percentiles: "
+          f"{args.warmup:.0%}; latency is scheduled-arrival -> "
+          f"resolution, open loop)")
+    if args.json is not None:
+        report = results_to_json(rows, seed=args.seed,
+                                 warmup_frac=args.warmup)
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(report + "\n")
+        print(f"report written to {args.json}")
     return 0
 
 
@@ -252,6 +279,24 @@ def build_parser() -> argparse.ArgumentParser:
                          "core); sweep counts are bit-identical for "
                          "every worker count")
     sb.set_defaults(func=_cmd_svd_bench)
+
+    lb = sub.add_parser("load-bench",
+                        help="open-loop load scenarios: fixed vs "
+                             "adaptive micro-batching")
+    lb.add_argument("--scenarios", default=None,
+                    help="comma-separated scenario names (default: all; "
+                         "known: trickle, bursty, bimodal, mixed)")
+    lb.add_argument("--items", type=int, default=None,
+                    help="submissions per scenario (default: per-scenario "
+                         "sizes)")
+    lb.add_argument("--seed", type=int, default=0)
+    lb.add_argument("--warmup", type=float, default=0.2,
+                    help="leading fraction of each trace excluded from "
+                         "the latency percentiles (adaptive runs start "
+                         "untuned)")
+    lb.add_argument("--json", default=None, metavar="PATH",
+                    help="also write the machine-readable report here")
+    lb.set_defaults(func=_cmd_load_bench)
 
     f2 = sub.add_parser("figure2", help="relative communication cost curves")
     f2.add_argument("--dims", default="5..15",

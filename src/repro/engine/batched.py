@@ -475,11 +475,17 @@ def run_batched_sweeps(A0, make_backend, get_schedule, extract_transform,
     extract_transform:
         ``(backend, positions) -> (len(positions), m, m) array or None``
         — the accumulated transformations of the given batch positions.
+    tol, max_sweeps:
+        Per-matrix convergence tolerance and sweep budget.
     with_transform:
         Whether the accumulated transformation is tracked (identity for
         matrices converged at entry).
     stats:
         :class:`~repro.jacobi.rotations.RotationStats` accumulator.
+    raise_on_no_convergence:
+        Raise :class:`~repro.errors.ConvergenceError` if any matrix
+        exhausts the budget (otherwise the miss is data in the
+        ``converged`` flags).
 
     Returns
     -------
@@ -636,6 +642,7 @@ class BatchedOneSidedJacobi:
 
     def count_sweeps(self, matrices: Union[np.ndarray, Sequence[np.ndarray]]
                      ) -> np.ndarray:
-        """Per-matrix sweeps to convergence (eigenvectors accumulated, as
-        the real algorithm would) — the batched Table-2 primitive."""
+        """Per-matrix sweeps to convergence of ``matrices`` (a ``(B, m,
+        m)`` stack or sequence; eigenvectors accumulated, as the real
+        algorithm would) — the batched Table-2 primitive."""
         return self.solve(matrices).sweeps

@@ -43,7 +43,15 @@ __all__ = [
 
 @dataclass(frozen=True)
 class CacheInfo:
-    """Counters of a :class:`ScheduleCache` (mirrors ``functools``)."""
+    """Counters of a :class:`ScheduleCache` (mirrors ``functools``).
+
+    Attributes
+    ----------
+    hits, misses:
+        Lookup counters since construction (or the last ``clear``).
+    size:
+        Memoised entries currently held (schedules plus sequences).
+    """
 
     hits: int
     misses: int
@@ -138,12 +146,15 @@ GLOBAL_SCHEDULE_CACHE = ScheduleCache()
 
 def get_schedule(ordering: JacobiOrdering, sweep: int = 0,
                  cache: Optional[ScheduleCache] = None) -> SweepSchedule:
-    """Module-level convenience over :data:`GLOBAL_SCHEDULE_CACHE`."""
+    """Module-level convenience: the transition schedule of ``sweep``
+    for ``ordering``, served from ``cache`` (default
+    :data:`GLOBAL_SCHEDULE_CACHE`)."""
     return (cache or GLOBAL_SCHEDULE_CACHE).get_schedule(ordering, sweep)
 
 
 def get_phase_sequences(ordering: JacobiOrdering,
                         cache: Optional[ScheduleCache] = None
                         ) -> Tuple[Tuple[int, ...], ...]:
-    """Module-level convenience over :data:`GLOBAL_SCHEDULE_CACHE`."""
+    """Module-level convenience: all phase sequences of ``ordering``,
+    served from ``cache`` (default :data:`GLOBAL_SCHEDULE_CACHE`)."""
     return (cache or GLOBAL_SCHEDULE_CACHE).get_phase_sequences(ordering)

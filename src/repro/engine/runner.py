@@ -260,6 +260,27 @@ def run_svd_ensemble(shapes: Sequence[Tuple[int, int]],
     ``workers >= 1`` routes the run through the sharded service layer
     (:func:`repro.service.pool.run_svd_ensemble_sharded`), still
     bit-identical for every worker count and shard size.
+
+    Parameters
+    ----------
+    shapes:
+        ``(n, m)`` shape grid, one seeded ensemble per entry.
+    num_matrices:
+        Ensemble size per shape.
+    seed:
+        Ensemble RNG seed (see :func:`generate_svd_ensemble`).
+    tol, max_sweeps:
+        Convergence tolerance and per-matrix sweep budget.
+    engine:
+        ``"batched"`` or ``"sequential"``.
+    workers, shard_size:
+        Sharding knobs forwarded to the service layer (``workers=0``
+        stays in-process).
+
+    Returns
+    -------
+    list of SvdEnsembleResult
+        One per shape, in input order.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")

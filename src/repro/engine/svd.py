@@ -312,6 +312,7 @@ class BatchedOneSidedSVD:
 
     def count_sweeps(self, matrices: Union[np.ndarray, Sequence[np.ndarray]]
                      ) -> np.ndarray:
-        """Per-matrix sweeps to convergence (V still accumulated, as the
-        real algorithm would) — the SVD ensemble-bench primitive."""
+        """Per-matrix sweeps to convergence of ``matrices`` (a ``(B, n,
+        m)`` stack or sequence; V still accumulated, as the real
+        algorithm would) — the SVD ensemble-bench primitive."""
         return self.solve(matrices).sweeps

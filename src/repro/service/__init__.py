@@ -11,12 +11,18 @@ usable alone:
   :func:`repro.engine.run_svd_ensemble` (reachable as
   ``run_ensemble(workers=N)`` / ``run_svd_ensemble(workers=N)``).
 * :mod:`repro.service.batcher` — :class:`MicroBatcher` groups streaming
-  submissions by key and flushes micro-batches by size or deadline.
+  submissions by key and flushes micro-batches by size or deadline,
+  with per-key limit overrides.
+* :mod:`repro.service.adaptive` — :class:`AdaptiveController` retunes a
+  key's ``max_batch``/``max_delay`` from observed flush causes, queue
+  depths, waits and solve latencies, within caller-set
+  :class:`TuningBounds`, through a pluggable hysteresis policy.
 * :mod:`repro.service.api` — :class:`JacobiService`, the facade serving
   two traffic classes: ``submit(A) -> Future[SolveResult]`` for
   symmetric eigenproblems and ``submit(A, kind="svd") ->
   Future[SvdResult]`` for tall/square thin SVDs, with separate eigen/SVD
-  micro-batches, ``solve_many``, and queue/throughput stats per kind.
+  micro-batches, ``solve_many``, queue/throughput stats per kind, and
+  ``adaptive=True`` self-tuning batching.
 
 Results are bit-identical to the in-process engines — and through them
 to the sequential per-matrix solvers (``ParallelOneSidedJacobi`` for
@@ -25,6 +31,13 @@ count, shard size and batching schedule.  Parallelism here is purely a
 throughput knob, never an accuracy trade.
 """
 
+from .adaptive import (
+    AdaptiveController,
+    HysteresisPolicy,
+    Observation,
+    TuningBounds,
+    TuningEvent,
+)
 from .api import KINDS, JacobiService, ServiceStats, SolveResult, SvdResult
 from .batcher import FlushEvent, MicroBatcher
 from .pool import (
@@ -51,6 +64,11 @@ __all__ = [
     "SvdResult",
     "FlushEvent",
     "MicroBatcher",
+    "AdaptiveController",
+    "HysteresisPolicy",
+    "Observation",
+    "TuningBounds",
+    "TuningEvent",
     "ShardTask",
     "SvdShardTask",
     "ShardedExecutor",

@@ -1,0 +1,363 @@
+"""Adaptive micro-batching: tune flush limits from observed load.
+
+A fixed ``max_batch``/``max_delay`` pair is only right for one traffic
+shape.  Trickling traffic never fills a batch, so every matrix pays the
+full ``max_delay`` before its deadline flush — latency wasted waiting
+for companions that never come.  Bursty traffic fills batches instantly
+and leaves a backlog behind every size flush — throughput capped by a
+ceiling chosen for a calmer stream.  Like the pipelining analysis in
+the source paper, the right setting is a function of observed load, not
+a constant.
+
+:class:`AdaptiveController` closes the loop.  It consumes the
+:class:`~repro.service.batcher.FlushEvent` stream (cause, batch size,
+wait, backlog, limits in effect) plus the per-flush solve latency the
+service feeds back, aggregates them into per-key observation windows,
+and asks a pluggable *policy* for a new ``(max_batch, max_delay)``
+within caller-set :class:`TuningBounds`.  The default
+:class:`HysteresisPolicy` implements the two classic responses:
+
+* **deadline-dominated** keys (trickle) shrink ``max_delay`` — batches
+  are not filling, so waiting longer only adds latency;
+* **size-saturated** keys (bursts leaving a backlog behind full
+  batches) grow ``max_batch`` — the ceiling, not the traffic, is
+  capping the batch.
+
+Hysteresis makes the tuning deterministic and oscillation-free: a
+decision is only taken once a full window of ``window`` flushes agrees
+(by majority, per the policy's ratio thresholds), the window resets
+after every evaluation, and limits move geometrically and clamp at the
+bounds.  The controller is passive and clock-injected like the batcher
+— no threads, no sleeps — so its behaviour is exactly pinnable in unit
+tests.  It is not thread-safe; the owning service serialises access.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Tuple,
+)
+
+from ..errors import SimulationError
+from .batcher import FlushEvent
+
+__all__ = [
+    "TuningBounds",
+    "Observation",
+    "TuningEvent",
+    "HysteresisPolicy",
+    "AdaptiveController",
+]
+
+
+@dataclass(frozen=True)
+class TuningBounds:
+    """Caller-set envelope the adaptive controller may tune within.
+
+    Parameters
+    ----------
+    min_batch, max_batch:
+        Inclusive range for a key's ``max_batch`` (``1 <= min <= max``).
+    min_delay, max_delay:
+        Inclusive range in seconds for a key's ``max_delay``
+        (``0 <= min <= max``).
+    """
+
+    min_batch: int = 1
+    max_batch: int = 128
+    min_delay: float = 0.001
+    max_delay: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.min_batch <= self.max_batch:
+            raise SimulationError(
+                f"need 1 <= min_batch <= max_batch, got "
+                f"[{self.min_batch}, {self.max_batch}]")
+        if not 0 <= self.min_delay <= self.max_delay:
+            raise SimulationError(
+                f"need 0 <= min_delay <= max_delay, got "
+                f"[{self.min_delay}, {self.max_delay}]")
+
+    def clamp(self, batch: int, delay: float) -> Tuple[int, float]:
+        """Project a ``(max_batch, max_delay)`` pair into the envelope.
+
+        Parameters
+        ----------
+        batch, delay:
+            The candidate limits.
+
+        Returns
+        -------
+        (int, float)
+            The nearest pair inside the bounds.
+        """
+        return (min(max(int(batch), self.min_batch), self.max_batch),
+                min(max(float(delay), self.min_delay), self.max_delay))
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One flush as the policy sees it.
+
+    Attributes
+    ----------
+    cause:
+        ``"size"``, ``"deadline"`` or ``"forced"``.
+    size:
+        Items the flush released.
+    waited:
+        Seconds the oldest released item spent queued.
+    queued_after:
+        Same-key items still queued after the release (backlog).
+    solve_latency:
+        Wall-clock seconds the flushed batch took to solve, when the
+        service had it (``None`` for flushes whose latency was not
+        observed, e.g. failures).
+    """
+
+    cause: str
+    size: int
+    waited: float
+    queued_after: int
+    solve_latency: Optional[float]
+
+
+@dataclass(frozen=True)
+class TuningEvent:
+    """One applied retune — an entry of the controller's trace.
+
+    Attributes
+    ----------
+    key:
+        The traffic key that was retuned.
+    time:
+        Controller clock at the decision.
+    batch_from, batch_to:
+        ``max_batch`` before and after.
+    delay_from, delay_to:
+        ``max_delay`` before and after (seconds).
+    reason:
+        The policy's one-line justification (e.g.
+        ``"deadline-dominated: shrink max_delay"``).
+    """
+
+    key: Hashable
+    time: float
+    batch_from: int
+    batch_to: int
+    delay_from: float
+    delay_to: float
+    reason: str
+
+
+#: A tuning policy: ``(window, batch, delay, bounds) -> None`` to keep
+#: the current limits, or ``(new_batch, new_delay, reason)`` to retune
+#: (clamped to the bounds by the controller).
+TuningPolicy = Callable[
+    [Tuple[Observation, ...], int, float, TuningBounds],
+    Optional[Tuple[int, float, str]],
+]
+
+
+@dataclass(frozen=True)
+class HysteresisPolicy:
+    """The default tuning policy: majority-vote geometric steps.
+
+    Parameters
+    ----------
+    grow:
+        Multiplicative ``max_batch`` step on saturation (> 1).
+    shrink:
+        Multiplicative ``max_delay`` step on deadline dominance
+        (in ``(0, 1)``).
+    saturation_ratio:
+        Fraction of a window that must be size flushes with backlog
+        left behind before ``max_batch`` grows.
+    deadline_ratio:
+        Fraction of a window that must be deadline flushes before
+        ``max_delay`` shrinks.
+    latency_floor:
+        When > 0, ``max_delay`` never shrinks below ``latency_floor *``
+        the window's mean observed solve latency — waiting less than a
+        solve takes cannot reduce end-to-end latency.  0 disables the
+        floor (keeps fake-clock tests free of wall-clock inputs).
+
+    Returns ``None`` (keep) unless a full window agrees; saturation is
+    checked before deadline dominance, so a key that is somehow both
+    grows its batch first and reconsiders its delay a window later.
+    """
+
+    grow: float = 2.0
+    shrink: float = 0.5
+    saturation_ratio: float = 0.5
+    deadline_ratio: float = 0.5
+    latency_floor: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.grow <= 1.0:
+            raise SimulationError(f"grow must be > 1, got {self.grow}")
+        if not 0.0 < self.shrink < 1.0:
+            raise SimulationError(
+                f"shrink must be in (0, 1), got {self.shrink}")
+
+    def __call__(self, window: Tuple[Observation, ...], batch: int,
+                 delay: float, bounds: TuningBounds
+                 ) -> Optional[Tuple[int, float, str]]:
+        """Judge one full window.
+
+        Parameters
+        ----------
+        window:
+            The key's last ``window`` observations, oldest first.
+        batch, delay:
+            The key's current limits.
+        bounds:
+            The caller-set envelope (used for the latency floor only;
+            the controller clamps the returned pair itself).
+
+        Returns
+        -------
+        (int, float, str) or None
+            The proposed ``(max_batch, max_delay, reason)``, or
+            ``None`` to keep the current limits.
+        """
+        n = len(window)
+        saturated = sum(1 for o in window
+                        if o.cause == "size" and o.queued_after > 0)
+        deadlined = sum(1 for o in window if o.cause == "deadline")
+        if saturated / n >= self.saturation_ratio:
+            new_batch = max(batch + 1, int(math.ceil(batch * self.grow)))
+            return (new_batch, delay, "size-saturated: grow max_batch")
+        if deadlined / n >= self.deadline_ratio:
+            floor = bounds.min_delay
+            if self.latency_floor > 0:
+                lats = [o.solve_latency for o in window
+                        if o.solve_latency is not None]
+                if lats:
+                    floor = max(floor,
+                                self.latency_floor * sum(lats) / len(lats))
+            new_delay = max(floor, delay * self.shrink)
+            return (batch, new_delay, "deadline-dominated: shrink max_delay")
+        return None
+
+
+class AdaptiveController:
+    """Per-key observation windows driving a tuning policy.
+
+    Parameters
+    ----------
+    bounds:
+        The :class:`TuningBounds` envelope every decision is clamped
+        into (defaults to ``TuningBounds()``).
+    policy:
+        The :data:`TuningPolicy` consulted once per full window
+        (defaults to :class:`HysteresisPolicy`).
+    window:
+        Flushes per key between policy evaluations (>= 1).  The window
+        resets after *every* evaluation — decided or not — so a key is
+        retuned at most once per ``window`` flushes, which is the
+        hysteresis that prevents oscillation.
+    trace_limit:
+        Applied :class:`TuningEvent` entries retained by :meth:`trace`
+        (oldest dropped first).
+    clock:
+        Monotonic time source stamped onto tuning events (injectable
+        for tests).
+
+    The controller never touches a batcher itself: :meth:`observe`
+    returns the applied :class:`TuningEvent` (or ``None``) and the
+    owner — :class:`~repro.service.api.JacobiService` — forwards it to
+    :meth:`~repro.service.batcher.MicroBatcher.set_limits`.  A key's
+    current limits are seeded from the first flush event seen for it
+    (which carries the limits then in effect).
+    """
+
+    def __init__(self, bounds: Optional[TuningBounds] = None,
+                 policy: Optional[TuningPolicy] = None,
+                 window: int = 8,
+                 trace_limit: int = 256,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.bounds = bounds if bounds is not None else TuningBounds()
+        self.policy: TuningPolicy = (policy if policy is not None
+                                     else HysteresisPolicy())
+        self.window = int(window)
+        if self.window < 1:
+            raise SimulationError(
+                f"window must be >= 1, got {window}")
+        self._clock = clock
+        self._windows: Dict[Hashable, List[Observation]] = {}
+        self._limits: Dict[Hashable, Tuple[int, float]] = {}
+        self._trace: Deque[TuningEvent] = deque(maxlen=int(trace_limit))
+
+    # ------------------------------------------------------------------
+    def limits(self) -> Dict[Hashable, Tuple[int, float]]:
+        """Current ``key -> (max_batch, max_delay)`` as the controller
+        believes them (seeded from observed flushes, updated by its own
+        decisions)."""
+        return dict(self._limits)
+
+    def trace(self) -> Tuple[TuningEvent, ...]:
+        """The applied retunes, oldest first (bounded by
+        ``trace_limit``)."""
+        return tuple(self._trace)
+
+    # ------------------------------------------------------------------
+    def observe(self, event: FlushEvent,
+                solve_latency: Optional[float] = None,
+                now: Optional[float] = None) -> Optional[TuningEvent]:
+        """Feed one flush; possibly decide a retune.
+
+        Parameters
+        ----------
+        event:
+            The released :class:`~repro.service.batcher.FlushEvent`
+            (carries cause, size, wait, backlog and the limits that
+            were in effect).
+        solve_latency:
+            Wall-clock seconds the flushed batch took to solve, when
+            known.
+        now:
+            Clock override for the decision timestamp (defaults to the
+            injected clock).
+
+        Returns
+        -------
+        TuningEvent or None
+            The applied retune when a full window justified one — the
+            caller should forward ``batch_to``/``delay_to`` to the
+            batcher — else ``None``.
+        """
+        key = event.key
+        batch, delay = self._limits.setdefault(
+            key, (event.limit_batch, event.limit_delay))
+        window = self._windows.setdefault(key, [])
+        window.append(Observation(
+            cause=event.cause, size=event.size,
+            waited=event.waited, queued_after=event.queued_after,
+            solve_latency=solve_latency))
+        if len(window) < self.window:
+            return None
+        decision = self.policy(tuple(window), batch, delay, self.bounds)
+        window.clear()
+        if decision is None:
+            return None
+        new_batch, new_delay = self.bounds.clamp(decision[0], decision[1])
+        if (new_batch, new_delay) == (batch, delay):
+            return None
+        self._limits[key] = (new_batch, new_delay)
+        tuning = TuningEvent(
+            key=key, time=self._clock() if now is None else now,
+            batch_from=batch, batch_to=new_batch,
+            delay_from=delay, delay_to=new_delay, reason=decision[2])
+        self._trace.append(tuning)
+        return tuning

@@ -56,7 +56,7 @@ import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -64,6 +64,7 @@ from ..errors import SimulationError
 from ..jacobi.convergence import DEFAULT_TOL
 from ..jacobi.svd import SvdResult
 from ..orderings.base import get_ordering
+from .adaptive import AdaptiveController, TuningBounds, TuningEvent
 from .batcher import FLUSH_CAUSES, FlushEvent, MicroBatcher
 from .pool import ShardedExecutor, solve_batch_remote, solve_svd_batch_remote
 
@@ -105,12 +106,30 @@ class SolveResult:
 class ServiceStats:
     """Queue/throughput counters of a :class:`JacobiService`.
 
+    ``submitted`` / ``completed`` / ``failed`` are lifetime item
+    counters and ``queue_depth`` the items currently queued;
     ``flushes`` counts released micro-batches by cause (``size`` /
-    ``deadline`` / ``forced``); ``submitted_by_kind`` splits the
-    submission counter per traffic class (``eigen`` / ``svd``);
-    ``mean_batch_size`` is submitted items per flush; ``throughput`` is
-    completed solves per second since the first submission (0.0 before
-    any work completes).
+    ``deadline`` / ``forced``) and ``batches`` is their sum;
+    ``submitted_by_kind`` splits the submission counter per traffic
+    class (``eigen`` / ``svd``); ``mean_batch_size`` is submitted items
+    per flush; ``workers`` echoes the service's worker count;
+    ``elapsed`` is seconds since the first submission and
+    ``throughput`` completed solves per second over it (0.0 before any
+    work completes).
+
+    The adaptive fields expose the tuning loop:
+
+    * ``adaptive`` — whether the service tunes its own batching;
+    * ``limits`` — the per-key ``(max_batch, max_delay)`` overrides
+      currently applied to the batcher (empty until the controller
+      retunes something);
+    * ``tuning`` — the applied
+      :class:`~repro.service.adaptive.TuningEvent` trace, oldest
+      first (always empty when ``adaptive`` is false);
+    * ``solve_latency_by_kind`` — mean wall-clock seconds per flushed
+      batch solve, per traffic class (0.0 before any flush of that
+      kind completes), measured inside the solve call itself — the
+      per-kind latency feedback the controller consumes.
     """
 
     submitted: int
@@ -124,6 +143,10 @@ class ServiceStats:
     workers: int
     elapsed: float
     throughput: float
+    adaptive: bool
+    limits: Dict[Any, Tuple[int, float]]
+    tuning: Tuple[TuningEvent, ...]
+    solve_latency_by_kind: Dict[str, float]
 
 
 @dataclass
@@ -148,10 +171,31 @@ class JacobiService:
         both traffic classes).
     max_batch, max_delay:
         Micro-batching knobs (see
-        :class:`~repro.service.batcher.MicroBatcher`).
+        :class:`~repro.service.batcher.MicroBatcher`).  With
+        ``adaptive=True`` these are only the *starting* values.
     workers:
         ``0``/``1`` solves flushes on the dispatcher thread; ``>= 2``
         fans them out to that many worker processes.
+    adaptive:
+        Let the service retune ``max_batch``/``max_delay`` per traffic
+        key from its own flush/latency observations (see
+        :class:`~repro.service.adaptive.AdaptiveController`):
+        deadline-dominated keys shrink their delay, size-saturated keys
+        grow their batch, within ``tuning_bounds``.  ``False``
+        (default) keeps the fixed limits — behaviour is then exactly
+        that of a service built without the adaptive machinery.
+    tuning_bounds:
+        :class:`~repro.service.adaptive.TuningBounds` envelope for the
+        controller.  Defaults to ``[1, 8 * max_batch]`` for the batch
+        and ``[max_delay / 32, max_delay]`` for the delay, so by
+        default adaptation can only *lower* latency and *raise*
+        throughput relative to the starting point.
+    tuning_policy:
+        Pluggable tuning policy (defaults to
+        :class:`~repro.service.adaptive.HysteresisPolicy`).
+    tuning_window:
+        Flushes per key between policy evaluations (the hysteresis
+        width; default 8).
     compute_eigenvectors:
         Accumulate eigenvectors for eigen traffic (disable for
         sweep-count-only traffic; results then carry eigenvalue
@@ -170,7 +214,11 @@ class JacobiService:
                  tol: float = DEFAULT_TOL, max_sweeps: int = 60,
                  max_batch: int = 16, max_delay: float = 0.02,
                  workers: int = 0, compute_eigenvectors: bool = True,
-                 executor: Optional[ShardedExecutor] = None) -> None:
+                 executor: Optional[ShardedExecutor] = None,
+                 adaptive: bool = False,
+                 tuning_bounds: Optional[TuningBounds] = None,
+                 tuning_policy: Optional[Any] = None,
+                 tuning_window: int = 8) -> None:
         self.d = int(d)
         self.ordering = str(ordering)
         get_ordering(self.ordering, self.d)  # validate eagerly
@@ -178,11 +226,26 @@ class JacobiService:
         self.max_sweeps = int(max_sweeps)
         self.compute_eigenvectors = bool(compute_eigenvectors)
         self.workers = int(workers)
+        self.adaptive = bool(adaptive)
         self._clock = time.monotonic
         self._cond = threading.Condition()
         self._batcher = MicroBatcher(max_batch=max_batch,
                                      max_delay=max_delay,
                                      clock=self._clock)
+        if self.adaptive:
+            bounds = tuning_bounds if tuning_bounds is not None else \
+                TuningBounds(min_batch=1,
+                             max_batch=max(1, 8 * int(max_batch)),
+                             min_delay=float(max_delay) / 32.0,
+                             max_delay=float(max_delay))
+            self._controller: Optional[AdaptiveController] = \
+                AdaptiveController(bounds=bounds, policy=tuning_policy,
+                                   window=tuning_window,
+                                   clock=self._clock)
+        else:
+            self._controller = None
+        self._solve_seconds = {kind: 0.0 for kind in KINDS}
+        self._solved_batches = {kind: 0 for kind in KINDS}
         self._own_executor = executor is None and self.workers >= 2
         if executor is not None:
             self._executor: Optional[ShardedExecutor] = executor
@@ -248,16 +311,30 @@ class JacobiService:
                d: Optional[int] = None) -> "Future[Any]":
         """Queue one matrix; resolve to its per-matrix result.
 
-        ``kind="eigen"`` (default) queues a symmetric matrix and
-        resolves to a :class:`SolveResult`; ``ordering``/``d`` override
-        the service defaults per submission.  ``kind="svd"`` queues a
-        tall/square general matrix and resolves to an
-        :class:`~repro.jacobi.svd.SvdResult` bit-identical to
-        :func:`~repro.jacobi.svd.onesided_svd` (``ordering``/``d`` do
-        not apply and are rejected).  Matrices are micro-batched by
-        kind-tagged keys — ``("eigen", m, ordering, d)`` /
-        ``("svd", n, m)`` — so mixed traffic coexists on one service and
-        the two classes never share a flush.
+        Parameters
+        ----------
+        A:
+            The matrix (copied on entry; validated synchronously
+            against its traffic class).
+        kind:
+            ``"eigen"`` (default) queues a symmetric matrix and
+            resolves to a :class:`SolveResult`; ``"svd"`` queues a
+            tall/square general matrix and resolves to an
+            :class:`~repro.jacobi.svd.SvdResult` bit-identical to
+            :func:`~repro.jacobi.svd.onesided_svd`.
+        ordering, d:
+            Per-submission overrides of the eigen traffic class's
+            service defaults (do not apply to SVD traffic and are
+            rejected there).
+
+        Returns
+        -------
+        concurrent.futures.Future
+            Resolves to the per-matrix result.  Matrices are
+            micro-batched by kind-tagged keys — ``("eigen", m,
+            ordering, d)`` / ``("svd", n, m)`` — so mixed traffic
+            coexists on one service and the two classes never share a
+            flush.
         """
         if kind not in KINDS:
             raise SimulationError(
@@ -293,7 +370,9 @@ class JacobiService:
                    kind: str = "eigen",
                    ordering: Optional[str] = None,
                    d: Optional[int] = None) -> List[Any]:
-        """Submit a whole sequence, force a flush, wait for the results."""
+        """Submit a whole sequence of ``matrices`` (with the same
+        ``kind``/``ordering``/``d`` semantics as :meth:`submit`), force
+        a flush, and wait for the results, in input order."""
         futures = [self.submit(A, kind=kind, ordering=ordering, d=d)
                    for A in matrices]
         self.flush()
@@ -356,21 +435,49 @@ class JacobiService:
                     and self._executor.uses_processes):
                 fut = self._executor.submit(solve, payload)
                 fut.add_done_callback(
-                    lambda f, its=items: self._complete_remote(its, f))
+                    lambda f, its=items, ev=event:
+                        self._complete_remote(its, ev, f))
                 return
             out = solve(payload)
         except BaseException as exc:  # noqa: BLE001 - futures carry it
             self._fail(items, exc)
             return
+        self._observe(event, out.get("elapsed"))
         self._settle(items, out)
 
-    def _complete_remote(self, items: List[_Item],
+    def _complete_remote(self, items: List[_Item], event: FlushEvent,
                          fut: "Future[Dict[str, np.ndarray]]") -> None:
+        """Resolve one remotely-solved flush (runs on a pool callback
+        thread): failures fail the futures, successes feed the adaptive
+        observation loop and settle them."""
         exc = fut.exception()
         if exc is not None:
             self._fail(items, exc)
         else:
-            self._settle(items, fut.result())
+            out = fut.result()
+            self._observe(event, out.get("elapsed"))
+            self._settle(items, out)
+
+    def _observe(self, event: FlushEvent,
+                 elapsed: Optional[float]) -> None:
+        """Feed one completed flush back into the tuning loop: account
+        the per-kind solve latency and let the adaptive controller
+        retune the flushed key's batcher limits."""
+        with self._cond:
+            kind = event.key[0]
+            if elapsed is not None:
+                self._solve_seconds[kind] += float(elapsed)
+                self._solved_batches[kind] += 1
+            if self._controller is None:
+                return
+            decision = self._controller.observe(event,
+                                                solve_latency=elapsed)
+            if decision is not None:
+                self._batcher.set_limits(event.key, decision.batch_to,
+                                         decision.delay_to)
+                # Wake the dispatcher: a shrunk delay can pull the next
+                # deadline earlier than its current wait timeout.
+                self._cond.notify_all()
 
     def _settle(self, items: List[_Item],
                 out: Dict[str, np.ndarray]) -> None:
@@ -415,7 +522,15 @@ class JacobiService:
 
     # ------------------------------------------------------------------
     def stats(self) -> ServiceStats:
-        """Snapshot of the queue/throughput counters."""
+        """Snapshot the service counters.
+
+        Returns
+        -------
+        ServiceStats
+            Queue/throughput counters plus — when the service is
+            adaptive — the per-key limit overrides and the applied
+            tuning trace (see :class:`ServiceStats`).
+        """
         with self._cond:
             elapsed = (0.0 if self._first_submit is None
                        else self._clock() - self._first_submit)
@@ -433,7 +548,16 @@ class JacobiService:
                 workers=self.workers,
                 elapsed=elapsed,
                 throughput=(self._completed / elapsed
-                            if elapsed > 0 else 0.0))
+                            if elapsed > 0 else 0.0),
+                adaptive=self.adaptive,
+                limits=self._batcher.overrides(),
+                tuning=(self._controller.trace()
+                        if self._controller is not None else ()),
+                solve_latency_by_kind={
+                    kind: (self._solve_seconds[kind]
+                           / self._solved_batches[kind]
+                           if self._solved_batches[kind] else 0.0)
+                    for kind in KINDS})
 
     def close(self) -> None:
         """Drain the queue, resolve every future, stop the dispatcher."""

@@ -17,6 +17,14 @@ released when it
 * is explicitly drained (a **forced** flush — e.g. on shutdown or
   :meth:`~repro.service.api.JacobiService.flush`).
 
+The ``max_batch``/``max_delay`` pair set at construction is the
+*default*; :meth:`set_limits` overrides it per key, which is the hook
+the adaptive controller
+(:class:`~repro.service.adaptive.AdaptiveController`) tunes through.
+Every :class:`FlushEvent` reports the limits that were in effect and
+the backlog the release left behind, so a tuning policy can judge
+whether the current settings fit the observed traffic.
+
 The class is deliberately *passive*: it never spawns threads or sleeps.
 Callers inject a ``clock`` and drive :meth:`pop_ready` themselves —
 :class:`~repro.service.api.JacobiService` does so from its dispatcher
@@ -55,12 +63,29 @@ class FlushEvent:
         ``"size"``, ``"deadline"`` or ``"forced"``.
     waited:
         Seconds the oldest released item spent queued.
+    queued_after:
+        Items of the same key still queued after this release — a
+        size flush with ``queued_after > 0`` means the batch ceiling,
+        not the traffic, capped the batch (the saturation signal the
+        adaptive policy grows ``max_batch`` on).
+    limit_batch:
+        The ``max_batch`` in effect for the key at release time.
+    limit_delay:
+        The ``max_delay`` in effect for the key at release time.
     """
 
     key: Hashable
     items: Tuple[Any, ...]
     cause: str
     waited: float
+    queued_after: int = 0
+    limit_batch: int = 0
+    limit_delay: float = 0.0
+
+    @property
+    def size(self) -> int:
+        """Items released by this flush."""
+        return len(self.items)
 
 
 @dataclass
@@ -75,40 +100,108 @@ class MicroBatcher:
     Parameters
     ----------
     max_batch:
-        Items per size-triggered flush (>= 1), and a hard ceiling on
-        every release: oversized groups always come out as several full
-        batches (the remainder waits for its deadline, or is chunked on
-        a drain).
+        Default items per size-triggered flush (>= 1), and a hard
+        ceiling on every release: oversized groups always come out as
+        several full batches (the remainder waits for its deadline, or
+        is chunked on a drain).
     max_delay:
-        Seconds a group's oldest item may wait before a deadline flush
-        (>= 0; ``0`` releases on the next poll).
+        Default seconds a group's oldest item may wait before a
+        deadline flush (>= 0; ``0`` releases on the next poll).
     clock:
         Monotonic time source (injectable for tests).
+
+    Both defaults can be overridden per key with :meth:`set_limits`;
+    overrides are sticky — they survive the key's queue emptying.
     """
 
     def __init__(self, max_batch: int = 16, max_delay: float = 0.02,
                  clock: Callable[[], float] = time.monotonic) -> None:
         self.max_batch = int(max_batch)
         self.max_delay = float(max_delay)
-        if self.max_batch < 1:
-            raise SimulationError(
-                f"max_batch must be >= 1, got {max_batch}")
-        if self.max_delay < 0:
-            raise SimulationError(
-                f"max_delay must be >= 0, got {max_delay}")
+        _check_limits(max_batch, max_delay)
         self._clock = clock
         self._groups: Dict[Hashable, _Group] = {}
+        self._limits: Dict[Hashable, Tuple[int, float]] = {}
+
+    # ------------------------------------------------------------------
+    def limits_for(self, key: Hashable) -> Tuple[int, float]:
+        """The effective ``(max_batch, max_delay)`` for ``key``.
+
+        Parameters
+        ----------
+        key:
+            A grouping key (need not have queued items).
+
+        Returns
+        -------
+        (int, float)
+            The key's override from :meth:`set_limits`, or the
+            batcher-wide defaults.
+        """
+        return self._limits.get(key, (self.max_batch, self.max_delay))
+
+    def set_limits(self, key: Hashable, max_batch: Optional[int] = None,
+                   max_delay: Optional[float] = None) -> None:
+        """Override the flush limits of one key.
+
+        Parameters
+        ----------
+        key:
+            The grouping key to retune.
+        max_batch:
+            New size-flush threshold (``None`` keeps the key's current
+            value).
+        max_delay:
+            New deadline in seconds (``None`` keeps the key's current
+            value).
+
+        The override is sticky: it applies to every later submission
+        under ``key`` until overridden again, even across the key's
+        queue emptying.  This is the knob the adaptive controller
+        turns.
+        """
+        batch, delay = self.limits_for(key)
+        batch = batch if max_batch is None else int(max_batch)
+        delay = delay if max_delay is None else float(max_delay)
+        _check_limits(batch, delay)
+        self._limits[key] = (batch, delay)
+
+    def overrides(self) -> Dict[Hashable, Tuple[int, float]]:
+        """Per-key limit overrides currently in force.
+
+        Returns
+        -------
+        dict
+            ``key -> (max_batch, max_delay)`` for every key retuned via
+            :meth:`set_limits` (keys on the defaults are absent).
+        """
+        return dict(self._limits)
 
     # ------------------------------------------------------------------
     def submit(self, key: Hashable, item: Any,
                now: Optional[float] = None) -> bool:
-        """Queue ``item`` under ``key``; True when the group is now
-        size-ready (the caller should :meth:`pop_ready` promptly)."""
+        """Queue one item.
+
+        Parameters
+        ----------
+        key:
+            Grouping key; items only ever share a flush with their key.
+        item:
+            Opaque payload, handed back in the :class:`FlushEvent`.
+        now:
+            Clock override (defaults to the injected clock).
+
+        Returns
+        -------
+        bool
+            True when the group is now size-ready (the caller should
+            :meth:`pop_ready` promptly).
+        """
         now = self._clock() if now is None else now
         group = self._groups.setdefault(key, _Group())
         group.items.append(item)
         group.arrived.append(now)
-        return len(group.items) >= self.max_batch
+        return len(group.items) >= self.limits_for(key)[0]
 
     def pending(self) -> int:
         """Queued items across all groups."""
@@ -120,41 +213,55 @@ class MicroBatcher:
 
     def next_deadline(self) -> Optional[float]:
         """Clock value at which the earliest group expires (None when
-        empty) — what a dispatcher thread should sleep until."""
-        arrivals = [g.arrived[0] for g in self._groups.values() if g.items]
-        if not arrivals:
+        empty) — what a dispatcher thread should sleep until.  Each
+        group expires by its key's own ``max_delay``."""
+        deadlines = [g.arrived[0] + self.limits_for(key)[1]
+                     for key, g in self._groups.items() if g.items]
+        if not deadlines:
             return None
-        return min(arrivals) + self.max_delay
+        return min(deadlines)
 
     # ------------------------------------------------------------------
     def _release(self, key: Hashable, count: int, cause: str,
                  now: float) -> FlushEvent:
         group = self._groups[key]
+        batch, delay = self.limits_for(key)
         items = tuple(group.items[:count])
         waited = now - group.arrived[0]
         del group.items[:count]
         del group.arrived[:count]
+        queued_after = len(group.items)
         if not group.items:
             del self._groups[key]
-        return FlushEvent(key=key, items=items, cause=cause, waited=waited)
+        return FlushEvent(key=key, items=items, cause=cause, waited=waited,
+                          queued_after=queued_after, limit_batch=batch,
+                          limit_delay=delay)
 
     def pop_ready(self, now: Optional[float] = None) -> List[FlushEvent]:
         """Release every size-ready batch and every expired group.
 
-        Size flushes come out as full ``max_batch`` chunks in arrival
-        order; a remainder below ``max_batch`` is released only once its
-        oldest item has waited ``max_delay``.
+        Parameters
+        ----------
+        now:
+            Clock override (defaults to the injected clock).
+
+        Returns
+        -------
+        list of FlushEvent
+            Size flushes come out as full ``max_batch`` chunks in
+            arrival order; a remainder below the key's ``max_batch`` is
+            released only once its oldest item has waited the key's
+            ``max_delay``.
         """
         now = self._clock() if now is None else now
         events: List[FlushEvent] = []
         for key in list(self._groups):
+            batch, delay = self.limits_for(key)
             while (key in self._groups
-                   and len(self._groups[key].items) >= self.max_batch):
-                events.append(self._release(key, self.max_batch,
-                                            "size", now))
+                   and len(self._groups[key].items) >= batch):
+                events.append(self._release(key, batch, "size", now))
             if (key in self._groups
-                    and now - self._groups[key].arrived[0]
-                    >= self.max_delay):
+                    and now - self._groups[key].arrived[0] >= delay):
                 events.append(self._release(
                     key, len(self._groups[key].items), "deadline", now))
         return events
@@ -162,13 +269,32 @@ class MicroBatcher:
     def drain(self, now: Optional[float] = None) -> List[FlushEvent]:
         """Release everything immediately (cause ``"forced"``).
 
-        ``max_batch`` stays a hard ceiling: an oversized group comes out
-        as several chunks, never one giant batch.
+        Parameters
+        ----------
+        now:
+            Clock override (defaults to the injected clock).
+
+        Returns
+        -------
+        list of FlushEvent
+            Every queued item, chunked: ``max_batch`` stays a hard
+            ceiling, so an oversized group comes out as several chunks,
+            never one giant batch.
         """
         now = self._clock() if now is None else now
         events: List[FlushEvent] = []
         for key in list(self._groups):
+            batch = self.limits_for(key)[0]
             while key in self._groups:
-                count = min(len(self._groups[key].items), self.max_batch)
+                count = min(len(self._groups[key].items), batch)
                 events.append(self._release(key, count, "forced", now))
         return events
+
+
+def _check_limits(max_batch: int, max_delay: float) -> None:
+    """Validate a ``(max_batch, max_delay)`` pair (shared by the
+    constructor and :meth:`MicroBatcher.set_limits`)."""
+    if int(max_batch) < 1:
+        raise SimulationError(f"max_batch must be >= 1, got {max_batch}")
+    if float(max_delay) < 0:
+        raise SimulationError(f"max_delay must be >= 0, got {max_delay}")

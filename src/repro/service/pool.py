@@ -78,6 +78,21 @@ class ShardTask:
     the configuration's full seeded ensemble (cheap next to the solve)
     and slices ``[lo:hi]``, so every shard sees exactly the matrices the
     in-process path would have given it.
+
+    Attributes
+    ----------
+    m, P:
+        Matrix dimension and simulated node count of the configuration.
+    ordering:
+        Ordering family name.
+    lo, hi:
+        The slice of the ensemble this shard solves.
+    num_matrices, seed:
+        Full ensemble size and RNG seed (the regeneration inputs).
+    tol, max_sweeps:
+        Convergence tolerance and per-matrix sweep budget.
+    engine:
+        ``"batched"`` or ``"sequential"``.
     """
 
     m: int
@@ -101,7 +116,8 @@ def solve_ensemble_shard(task: ShardTask,
                          cache: Optional[Any] = None) -> np.ndarray:
     """Worker entry point: sweep counts of one shard (``(hi-lo,)`` ints).
 
-    Bit-identical to the corresponding slice of the in-process
+    Solves the :class:`ShardTask` ``task``, bit-identical to the
+    corresponding slice of the in-process
     :func:`~repro.engine.runner.run_ensemble` result.  ``cache`` is a
     :class:`~repro.engine.cache.ScheduleCache` for the batched engine —
     only meaningful when the shard runs inline (worker processes use
@@ -129,24 +145,40 @@ def solve_ensemble_shard(task: ShardTask,
 def solve_batch_remote(payload: Dict[str, Any]) -> Dict[str, np.ndarray]:
     """Worker entry point for eigen service flushes: solve a shipped batch.
 
-    ``payload`` carries the stacked matrices plus the solver spec
-    (``ordering``/``d``/``tol``/``max_sweeps``/``compute_eigenvectors``);
-    the result is a plain dict of arrays so it pickles cheaply.
-    Convergence failures are reported per matrix (``converged`` flags),
-    never raised — the service decides what a miss means.
+    Parameters
+    ----------
+    payload:
+        The stacked ``matrices`` plus the solver spec (``ordering`` /
+        ``d`` / ``tol`` / ``max_sweeps`` / ``compute_eigenvectors``).
+
+    Returns
+    -------
+    dict
+        Plain arrays (``eigenvalues`` / ``eigenvectors`` / ``sweeps`` /
+        ``converged``) so the result pickles cheaply, plus ``elapsed``
+        — the wall-clock seconds of the solve, measured *here* (inside
+        the worker when dispatched remotely) so the service's per-kind
+        latency feedback reflects solve cost, not queueing or pickling.
+        Convergence failures are reported per matrix (``converged``
+        flags), never raised — the service decides what a miss means.
     """
+    import time as _time
+
     from ..engine.batched import BatchedOneSidedJacobi
 
     ordering = get_ordering(payload["ordering"], payload["d"])
     solver = BatchedOneSidedJacobi(ordering, tol=payload["tol"],
                                    max_sweeps=payload["max_sweeps"])
+    t0 = _time.perf_counter()
     res = solver.solve(payload["matrices"],
                        compute_eigenvectors=payload["compute_eigenvectors"],
                        raise_on_no_convergence=False)
+    elapsed = _time.perf_counter() - t0
     return {"eigenvalues": res.eigenvalues,
             "eigenvectors": res.eigenvectors,
             "sweeps": res.sweeps,
-            "converged": res.converged}
+            "converged": res.converged,
+            "elapsed": elapsed}
 
 
 def solve_svd_batch_remote(payload: Dict[str, Any]) -> Dict[str, np.ndarray]:
@@ -155,17 +187,34 @@ def solve_svd_batch_remote(payload: Dict[str, Any]) -> Dict[str, np.ndarray]:
     The SVD twin of :func:`solve_batch_remote`: the batch rides the
     round-robin mode of :class:`~repro.engine.svd.BatchedOneSidedSVD`,
     whose per-matrix factors are bit-identical to
-    :func:`~repro.jacobi.svd.onesided_svd`.  Convergence misses are data
-    (``converged`` flags), never raised.
+    :func:`~repro.jacobi.svd.onesided_svd`.
+
+    Parameters
+    ----------
+    payload:
+        The stacked ``matrices`` plus ``tol`` / ``max_sweeps``.
+
+    Returns
+    -------
+    dict
+        Plain arrays (``U`` / ``S`` / ``Vt`` / ``sweeps`` /
+        ``converged``) plus ``elapsed``, the solve's wall-clock seconds
+        measured inside this call.  Convergence misses are data
+        (``converged`` flags), never raised.
     """
+    import time as _time
+
     from ..engine.svd import BatchedOneSidedSVD
 
     solver = BatchedOneSidedSVD(tol=payload["tol"],
                                 max_sweeps=payload["max_sweeps"])
+    t0 = _time.perf_counter()
     res = solver.solve(payload["matrices"],
                        raise_on_no_convergence=False)
+    elapsed = _time.perf_counter() - t0
     return {"U": res.U, "S": res.S, "Vt": res.Vt,
-            "sweeps": res.sweeps, "converged": res.converged}
+            "sweeps": res.sweeps, "converged": res.converged,
+            "elapsed": elapsed}
 
 
 def _warm_worker(specs: Tuple[Tuple[str, int], ...],
@@ -183,7 +232,17 @@ def _warm_worker(specs: Tuple[Tuple[str, int], ...],
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class ExecutorStats:
-    """Dispatch counters of a :class:`ShardedExecutor`."""
+    """Dispatch counters of a :class:`ShardedExecutor`.
+
+    Attributes
+    ----------
+    workers:
+        The executor's configured worker count.
+    tasks_dispatched, tasks_inline:
+        Calls sent to the process pool vs run in the calling process.
+    pool_started:
+        Whether the lazy pool has actually been created.
+    """
 
     workers: int
     tasks_dispatched: int
@@ -246,7 +305,8 @@ class ShardedExecutor:
         return self._pool
 
     def submit(self, fn: Callable[..., Any], *args: Any) -> "Future[Any]":
-        """Dispatch one call; inline mode returns an already-done future."""
+        """Dispatch one ``fn(*args)`` call; inline mode runs it here
+        and returns an already-done future."""
         if self.uses_processes:
             self._dispatched += 1
             return self._ensure_pool().submit(fn, *args)
@@ -275,7 +335,8 @@ class ShardedExecutor:
                              pool_started=self._pool is not None)
 
     def shutdown(self, wait: bool = True) -> None:
-        """Release the worker processes (idempotent)."""
+        """Release the worker processes (idempotent), blocking until
+        running tasks finish unless ``wait`` is false."""
         if self._pool is not None:
             self._pool.shutdown(wait=wait)
             self._pool = None
@@ -323,6 +384,22 @@ def plan_shards(configs: Sequence[Tuple[int, int]],
     work.  The plan order — configs, then orderings, then chunks — is
     the merge order, which is what keeps sharded results bit-identical
     to the in-process path.
+
+    Parameters
+    ----------
+    configs:
+        ``(m, P)`` configuration grid.
+    orderings:
+        Ordering family names, in column order.
+    num_matrices:
+        Ensemble size per configuration.
+    workers:
+        The parallelism the plan should occupy.
+    shard_size:
+        Forced matrices-per-unit (``None`` = whole ensembles unless
+        splitting is needed).
+    seed, tol, max_sweeps, engine:
+        Solver spec baked into every :class:`ShardTask`.
     """
     if num_matrices < 1:
         raise SimulationError(
@@ -360,15 +437,33 @@ def run_ensemble_sharded(configs: Sequence[Tuple[int, int]],
     ``workers <= 1``) and merges the per-shard sweep counts back into
     per-configuration results in plan order.  Bit-identical to the
     in-process path for every ``workers``/``shard_size`` choice.
-    ``orderings`` defaults to the runner's
-    :data:`~repro.engine.runner.ENSEMBLE_ORDERINGS` (Table 2's column
-    order) so the two entry points can never drift apart.
 
-    An ``executor`` may be passed to reuse a warm pool across calls; it
-    is then *not* shut down here.  An explicit schedule ``cache`` is
-    honoured on the inline path and rejected when worker processes
-    would be used (their caches live in other processes; silently
-    ignoring the argument would be worse).
+    Parameters
+    ----------
+    configs:
+        ``(m, P)`` configuration grid.
+    num_matrices, seed:
+        Ensemble size per configuration and RNG seed.
+    tol, max_sweeps:
+        Convergence tolerance and per-matrix sweep budget.
+    orderings:
+        Ordering family names; defaults to the runner's
+        :data:`~repro.engine.runner.ENSEMBLE_ORDERINGS` (Table 2's
+        column order) so the two entry points can never drift apart.
+    engine:
+        ``"batched"`` or ``"sequential"``.
+    workers, shard_size:
+        Parallelism and forced shard size (see :func:`plan_shards`).
+    mp_context:
+        Multiprocessing start method for a pool built here.
+    executor:
+        Reuse a warm pool across calls; it is then *not* shut down
+        here (and its worker count wins over ``workers``).
+    cache:
+        Explicit schedule cache, honoured on the inline path and
+        rejected when worker processes would be used (their caches
+        live in other processes; silently ignoring the argument would
+        be worse).
     """
     import functools
 
@@ -430,6 +525,19 @@ class SvdShardTask:
     stream inside the worker (never shipped) and sliced ``[lo:hi]``, so
     every shard sees exactly the matrices the in-process path would
     have given it.
+
+    Attributes
+    ----------
+    n, m:
+        Matrix shape of the ensemble.
+    lo, hi:
+        The slice of the ensemble this shard solves.
+    num_matrices, seed:
+        Full ensemble size and RNG seed (the regeneration inputs).
+    tol, max_sweeps:
+        Convergence tolerance and per-matrix sweep budget.
+    engine:
+        ``"batched"`` or ``"sequential"``.
     """
 
     n: int
@@ -451,7 +559,8 @@ class SvdShardTask:
 def solve_svd_ensemble_shard(task: SvdShardTask) -> np.ndarray:
     """Worker entry point: sweep counts of one SVD shard (``(hi-lo,)``).
 
-    Bit-identical to the corresponding slice of the in-process
+    Solves the :class:`SvdShardTask` ``task``, bit-identical to the
+    corresponding slice of the in-process
     :func:`~repro.engine.runner.run_svd_ensemble` result.
     """
     from ..engine.runner import generate_svd_ensemble
@@ -482,6 +591,20 @@ def plan_svd_shards(shapes: Sequence[Tuple[int, int]],
     """Decompose an SVD ensemble run into ordered ``(shape_index, task)``
     work units — one per shape by default, split into contiguous chunks
     when that would leave workers idle.  Plan order is merge order.
+
+    Parameters
+    ----------
+    shapes:
+        ``(n, m)`` shape grid.
+    num_matrices:
+        Ensemble size per shape.
+    workers:
+        The parallelism the plan should occupy.
+    shard_size:
+        Forced matrices-per-unit (``None`` = whole ensembles unless
+        splitting is needed).
+    seed, tol, max_sweeps, engine:
+        Solver spec baked into every :class:`SvdShardTask`.
     """
     if num_matrices < 1:
         raise SimulationError(
@@ -519,8 +642,24 @@ def run_svd_ensemble_sharded(shapes: Sequence[Tuple[int, int]],
     round-robin SVD engine needs no schedule warm-up, so workers start
     cold-cache without a miss penalty.
 
-    An ``executor`` may be passed to reuse a warm pool across calls; it
-    is then *not* shut down here.
+    Parameters
+    ----------
+    shapes:
+        ``(n, m)`` shape grid.
+    num_matrices, seed:
+        Ensemble size per shape and RNG seed.
+    tol, max_sweeps:
+        Convergence tolerance and per-matrix sweep budget.
+    engine:
+        ``"batched"`` or ``"sequential"``.
+    workers, shard_size:
+        Parallelism and forced shard size (see
+        :func:`plan_svd_shards`).
+    mp_context:
+        Multiprocessing start method for a pool built here.
+    executor:
+        Reuse a warm pool across calls; it is then *not* shut down
+        here (and its worker count wins over ``workers``).
     """
     from ..engine.runner import ENGINES, SvdEnsembleResult, _check_shape
 

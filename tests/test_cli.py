@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -78,6 +80,27 @@ class TestCommands:
     def test_svd_bench_rejects_bad_shapes(self):
         with pytest.raises(ValueError, match="NxM"):
             main(["svd-bench", "--shapes", "16by8"])
+
+    def test_load_bench_small(self, capsys, tmp_path):
+        report = tmp_path / "load-bench.json"
+        assert main(["load-bench", "--scenarios", "trickle",
+                     "--items", "8", "--json", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "fixed vs adaptive" in out
+        assert "adaptive b=4" in out
+        assert "retunes" in out
+        data = json.loads(report.read_text())
+        assert data["benchmark"] == "load-bench"
+        # two fixed baselines + the adaptive run for the one scenario
+        assert len(data["results"]) == 3
+        assert {r["label"] for r in data["results"]} \
+            >= {"adaptive b=4 d=20ms"}
+
+    def test_load_bench_rejects_unknown_scenario(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError, match="unknown scenario"):
+            main(["load-bench", "--scenarios", "tsunami", "--items", "4"])
 
     def test_figure2_small(self, capsys):
         assert main(["figure2", "--dims", "5..6", "--m-exponents", "18",

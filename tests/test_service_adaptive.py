@@ -1,0 +1,375 @@
+"""Adaptive micro-batching: controller, per-key limits, service wiring.
+
+The controller and the batcher's per-key limits are both passive and
+clock-injected, so every tuning rule is pinned here deterministically —
+no sleeps, no threads.  The service integration tests at the bottom use
+the real dispatcher thread with generous delays, like the rest of the
+service suite; the regression class asserts ``adaptive=False`` behaviour
+is exactly the pre-adaptive service.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.jacobi import ParallelOneSidedJacobi, make_symmetric_test_matrix
+from repro.orderings import get_ordering
+from repro.service import (
+    AdaptiveController,
+    HysteresisPolicy,
+    JacobiService,
+    MicroBatcher,
+    TuningBounds,
+)
+from repro.service.batcher import FlushEvent
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+def _event(key="k", cause="deadline", items=(1,), waited=0.5,
+           queued_after=0, limit_batch=8, limit_delay=0.02) -> FlushEvent:
+    return FlushEvent(key=key, items=tuple(items), cause=cause,
+                      waited=waited, queued_after=queued_after,
+                      limit_batch=limit_batch, limit_delay=limit_delay)
+
+
+def _controller(clock, window=4, bounds=None, policy=None
+                ) -> AdaptiveController:
+    return AdaptiveController(
+        bounds=bounds or TuningBounds(min_batch=1, max_batch=64,
+                                      min_delay=0.001, max_delay=0.1),
+        policy=policy, window=window, clock=clock)
+
+
+class TestPerKeyLimits:
+    """MicroBatcher.set_limits: the knob the controller turns."""
+
+    def test_defaults_until_overridden(self, clock):
+        mb = MicroBatcher(max_batch=3, max_delay=1.0, clock=clock)
+        assert mb.limits_for("k") == (3, 1.0)
+        mb.set_limits("k", max_batch=5)
+        assert mb.limits_for("k") == (5, 1.0)
+        mb.set_limits("k", max_delay=0.25)
+        assert mb.limits_for("k") == (5, 0.25)
+        assert mb.limits_for("other") == (3, 1.0)
+        assert mb.overrides() == {"k": (5, 0.25)}
+
+    def test_size_flush_uses_key_limit(self, clock):
+        mb = MicroBatcher(max_batch=3, max_delay=1.0, clock=clock)
+        mb.set_limits("k", max_batch=2)
+        assert mb.submit("k", 1) is False
+        assert mb.submit("k", 2) is True
+        (event,) = mb.pop_ready()
+        assert event.cause == "size"
+        assert event.items == (1, 2)
+        assert event.limit_batch == 2
+
+    def test_deadline_uses_key_limit(self, clock):
+        mb = MicroBatcher(max_batch=10, max_delay=1.0, clock=clock)
+        mb.set_limits("fast", max_delay=0.1)
+        mb.submit("fast", "a")
+        mb.submit("slow", "b")
+        assert mb.next_deadline() == pytest.approx(0.1)
+        clock.advance(0.1)
+        (event,) = mb.pop_ready()
+        assert event.key == "fast"
+        assert event.cause == "deadline"
+        clock.advance(0.9)
+        (event,) = mb.pop_ready()
+        assert event.key == "slow"
+
+    def test_overrides_survive_queue_emptying(self, clock):
+        mb = MicroBatcher(max_batch=4, max_delay=1.0, clock=clock)
+        mb.set_limits("k", max_batch=2)
+        mb.submit("k", 1)
+        mb.submit("k", 2)
+        mb.pop_ready()
+        assert mb.pending() == 0
+        assert mb.limits_for("k") == (2, 1.0)
+
+    def test_drain_chunks_by_key_limit(self, clock):
+        mb = MicroBatcher(max_batch=10, max_delay=1.0, clock=clock)
+        mb.set_limits("k", max_batch=2)
+        for x in range(5):
+            mb.submit("k", x)
+        events = mb.drain()
+        assert [e.items for e in events] == [(0, 1), (2, 3), (4,)]
+
+    def test_set_limits_validates(self, clock):
+        mb = MicroBatcher(clock=clock)
+        with pytest.raises(SimulationError):
+            mb.set_limits("k", max_batch=0)
+        with pytest.raises(SimulationError):
+            mb.set_limits("k", max_delay=-1.0)
+
+    def test_flush_event_signals(self, clock):
+        """queued_after/limit_* on the event are what the policy sees."""
+        mb = MicroBatcher(max_batch=2, max_delay=1.0, clock=clock)
+        for x in range(5):
+            mb.submit("k", x)
+        events = mb.pop_ready()
+        assert [(e.cause, e.size, e.queued_after) for e in events] == [
+            ("size", 2, 3), ("size", 2, 1)]
+        assert events[0].limit_batch == 2
+        assert events[0].limit_delay == 1.0
+
+
+class TestTuningBounds:
+    def test_clamp(self):
+        b = TuningBounds(min_batch=2, max_batch=16, min_delay=0.01,
+                         max_delay=0.1)
+        assert b.clamp(1, 0.5) == (2, 0.1)
+        assert b.clamp(100, 0.001) == (16, 0.01)
+        assert b.clamp(8, 0.05) == (8, 0.05)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            TuningBounds(min_batch=0)
+        with pytest.raises(SimulationError):
+            TuningBounds(min_batch=8, max_batch=4)
+        with pytest.raises(SimulationError):
+            TuningBounds(min_delay=-0.1)
+        with pytest.raises(SimulationError):
+            TuningBounds(min_delay=0.2, max_delay=0.1)
+
+
+class TestHysteresisPolicy:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            HysteresisPolicy(grow=1.0)
+        with pytest.raises(SimulationError):
+            HysteresisPolicy(shrink=1.0)
+
+
+class TestController:
+    def test_deadline_dominated_shrinks_delay(self, clock):
+        ctl = _controller(clock, window=4)
+        decision = None
+        for _ in range(4):
+            decision = ctl.observe(_event(cause="deadline")) or decision
+        assert decision is not None
+        assert decision.delay_from == 0.02
+        assert decision.delay_to == pytest.approx(0.01)
+        assert decision.batch_to == decision.batch_from == 8
+        assert "deadline-dominated" in decision.reason
+
+    def test_saturation_grows_batch(self, clock):
+        ctl = _controller(clock, window=4)
+        decision = None
+        for _ in range(4):
+            decision = ctl.observe(
+                _event(cause="size", items=range(8), queued_after=5)
+            ) or decision
+        assert decision is not None
+        assert (decision.batch_from, decision.batch_to) == (8, 16)
+        assert decision.delay_to == decision.delay_from
+        assert "size-saturated" in decision.reason
+
+    def test_size_without_backlog_is_not_saturation(self, clock):
+        """Full batches with an empty queue behind them are healthy —
+        no retune."""
+        ctl = _controller(clock, window=4)
+        for _ in range(8):
+            assert ctl.observe(
+                _event(cause="size", items=range(8), queued_after=0)
+            ) is None
+
+    def test_no_decision_before_window_fills(self, clock):
+        ctl = _controller(clock, window=5)
+        for _ in range(4):
+            assert ctl.observe(_event(cause="deadline")) is None
+
+    def test_hysteresis_one_decision_per_window(self, clock):
+        """12 deadline flushes with window 4 yield exactly 3 retunes —
+        never one per flush, so the limits cannot chatter."""
+        ctl = _controller(clock, window=4)
+        decisions = [ctl.observe(_event(cause="deadline"))
+                     for _ in range(12)]
+        applied = [d for d in decisions if d is not None]
+        assert len(applied) == 3
+        # geometric, monotone, no oscillation
+        delays = [d.delay_to for d in applied]
+        assert delays == pytest.approx([0.01, 0.005, 0.0025])
+
+    def test_mixed_window_below_threshold_keeps_limits(self, clock):
+        """A window split 50/50 between healthy size flushes and
+        deadline flushes stays put (deadline ratio not reached once
+        saturation isn't either)."""
+        ctl = _controller(
+            clock, window=4,
+            policy=HysteresisPolicy(deadline_ratio=0.75))
+        causes = ["size", "deadline", "size", "deadline"]
+        for cause in causes:
+            assert ctl.observe(_event(cause=cause, queued_after=0)) is None
+
+    def test_bounds_respected(self, clock):
+        bounds = TuningBounds(min_batch=1, max_batch=12,
+                              min_delay=0.015, max_delay=0.1)
+        ctl = _controller(clock, window=2, bounds=bounds)
+        # delay 0.02 -> clamped at 0.015, then pinned (no further event)
+        d1 = [ctl.observe(_event(cause="deadline")) for _ in range(2)][-1]
+        assert d1.delay_to == pytest.approx(0.015)
+        for _ in range(4):
+            assert ctl.observe(_event(cause="deadline",
+                                      limit_delay=0.015)) is None
+        # batch 8 -> 12 (clamped from 16), then pinned
+        d2 = [ctl.observe(_event(cause="size", items=range(8),
+                                 queued_after=3)) for _ in range(2)][-1]
+        assert d2.batch_to == 12
+        for _ in range(4):
+            assert ctl.observe(_event(cause="size", items=range(12),
+                                      queued_after=3,
+                                      limit_batch=12)) is None
+
+    def test_keys_tuned_independently(self, clock):
+        ctl = _controller(clock, window=2)
+        ctl.observe(_event(key="a", cause="deadline"))
+        ctl.observe(_event(key="b", cause="size", items=range(8),
+                           queued_after=2))
+        da = ctl.observe(_event(key="a", cause="deadline"))
+        db = ctl.observe(_event(key="b", cause="size", items=range(8),
+                                queued_after=2))
+        assert da.delay_to == pytest.approx(0.01) and da.batch_to == 8
+        assert db.batch_to == 16 and db.delay_to == pytest.approx(0.02)
+        assert ctl.limits() == {"a": (8, 0.01), "b": (16, 0.02)}
+
+    def test_trace_records_applied_retunes(self, clock):
+        ctl = _controller(clock, window=2)
+        clock.advance(1.5)
+        for _ in range(2):
+            ctl.observe(_event(cause="deadline"))
+        trace = ctl.trace()
+        assert len(trace) == 1
+        assert trace[0].time == pytest.approx(1.5)
+        assert trace[0].key == "k"
+
+    def test_latency_floor_stops_shrinking_below_solve_cost(self, clock):
+        """With latency_floor set, max_delay never shrinks below a
+        multiple of the observed solve latency."""
+        ctl = _controller(clock, window=2,
+                          policy=HysteresisPolicy(latency_floor=1.0))
+        decision = None
+        for _ in range(8):
+            decision = ctl.observe(_event(cause="deadline"),
+                                   solve_latency=0.008) or decision
+        assert decision.delay_to == pytest.approx(0.008)
+
+    def test_custom_policy_is_pluggable(self, clock):
+        def always_double(window, batch, delay, bounds):
+            return (batch * 2, delay, "custom")
+
+        ctl = _controller(clock, window=1, policy=always_double)
+        decision = ctl.observe(_event())
+        assert decision.batch_to == 16
+        assert decision.reason == "custom"
+
+    def test_window_validation(self, clock):
+        with pytest.raises(SimulationError):
+            AdaptiveController(window=0, clock=clock)
+
+
+def _mats(m, count, seed=0):
+    return [make_symmetric_test_matrix(m, rng=(seed, k))
+            for k in range(count)]
+
+
+class TestServiceIntegration:
+    """adaptive=True on the real service: tuning visible in stats(),
+    results still bit-identical to the sequential solver."""
+
+    def test_trickle_shrinks_delay_and_stays_bit_identical(self):
+        mats = _mats(16, 14, seed=7)
+        with JacobiService(d=2, max_batch=16, max_delay=0.03,
+                           adaptive=True, tuning_window=4) as svc:
+            results = [svc.submit(A).result(timeout=30.0) for A in mats]
+            st = svc.stats()
+        assert st.adaptive is True
+        assert len(st.tuning) >= 1
+        assert all("shrink max_delay" in ev.reason for ev in st.tuning)
+        key = ("eigen", 16, "degree4", 2)
+        assert key in st.limits
+        assert st.limits[key][1] < 0.03
+        assert st.solve_latency_by_kind["eigen"] > 0.0
+        seq = ParallelOneSidedJacobi(get_ordering("degree4", 2))
+        for A, r in zip(mats, results):
+            assert np.array_equal(seq.solve(A).eigenvalues, r.eigenvalues)
+
+    def test_burst_grows_batch(self):
+        mats = _mats(16, 60, seed=8)
+        with JacobiService(d=2, max_batch=2, max_delay=0.05,
+                           adaptive=True, tuning_window=4) as svc:
+            futures = [svc.submit(A) for A in mats]
+            for f in futures:
+                f.result(timeout=30.0)
+            st = svc.stats()
+        grown = [ev for ev in st.tuning if ev.batch_to > ev.batch_from]
+        assert grown, f"no batch growth in trace {st.tuning}"
+        key = ("eigen", 16, "degree4", 2)
+        assert st.limits[key][0] > 2
+
+    def test_bounds_cap_the_service_tuning(self):
+        bounds = TuningBounds(min_batch=1, max_batch=4,
+                              min_delay=0.02, max_delay=0.05)
+        mats = _mats(16, 40, seed=9)
+        with JacobiService(d=2, max_batch=2, max_delay=0.05,
+                           adaptive=True, tuning_bounds=bounds,
+                           tuning_window=2) as svc:
+            futures = [svc.submit(A) for A in mats]
+            for f in futures:
+                f.result(timeout=30.0)
+            st = svc.stats()
+        for batch, delay in st.limits.values():
+            assert 1 <= batch <= 4
+            assert 0.02 <= delay <= 0.05
+
+
+class TestNonAdaptiveRegression:
+    """adaptive=False must be exactly the pre-adaptive service."""
+
+    def test_stats_shape_when_disabled(self):
+        with JacobiService(d=1, max_delay=0.01) as svc:
+            svc.solve_many(_mats(8, 3))
+            st = svc.stats()
+        assert st.adaptive is False
+        assert st.tuning == ()
+        assert st.limits == {}
+        assert st.solve_latency_by_kind["eigen"] > 0.0
+        assert st.solve_latency_by_kind["svd"] == 0.0
+
+    def test_limits_never_move_when_disabled(self):
+        with JacobiService(d=1, max_batch=2, max_delay=0.01) as svc:
+            svc.solve_many(_mats(8, 10))
+            assert svc._batcher.overrides() == {}
+            assert svc._batcher.limits_for(("eigen", 8, "degree4", 1)) \
+                == (2, 0.01)
+
+    def test_fixed_and_adaptive_results_bit_identical(self):
+        """Tuning changes *when* flushes happen, never *what* a flush
+        computes: the same submissions resolve to byte-identical
+        results either way."""
+        mats = _mats(16, 8, seed=11)
+        with JacobiService(d=2, max_batch=4, max_delay=0.02) as svc:
+            fixed = svc.solve_many(mats)
+        with JacobiService(d=2, max_batch=4, max_delay=0.02,
+                           adaptive=True, tuning_window=2) as svc:
+            adaptive = svc.solve_many(mats)
+        for a, b in zip(fixed, adaptive):
+            assert np.array_equal(a.eigenvalues, b.eigenvalues)
+            assert np.array_equal(a.eigenvectors, b.eigenvectors)
+            assert a.sweeps == b.sweeps
