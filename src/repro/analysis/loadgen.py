@@ -11,7 +11,7 @@ backlog exactly like a real queue) and measures, per item, the time
 from *scheduled arrival* to future resolution — which charges
 coordinated omission to the service, not the generator.
 
-Four traffic shapes are bundled, chosen to pull the batching knobs in
+Five traffic shapes are bundled, chosen to pull the batching knobs in
 opposite directions:
 
 * ``trickle`` — sparse arrivals; batches never fill, so a fixed
@@ -21,7 +21,9 @@ opposite directions:
 * ``bimodal`` — the matrix shape flips between regimes, exercising
   per-key tuning;
 * ``mixed`` — interleaved eigen and SVD submissions, exercising both
-  traffic classes at once.
+  traffic classes at once;
+* ``overload`` — sustained arrivals *above* solve capacity, exercising
+  the admission layer rather than the batching knobs.
 
 :func:`compute_load_bench` replays every scenario against each fixed
 setting and against the adaptive controller (same seeded matrices, same
@@ -32,6 +34,18 @@ trace (default 20%): the adaptive service *starts* at its fixed
 configuration and needs a few tuning windows to converge, and steady
 state is what the latency comparison is about.  Throughput is measured
 over the whole run, warm-up included.
+
+The ``overload`` scenario runs a different settings grid
+(:data:`OVERLOAD_SETTINGS`): an uncontended stretched replay of the
+same bursts, the unbounded baseline, and two bounded admission
+configurations (``max_queue`` with the ``"reject"`` / ``"shed"``
+policies of :mod:`repro.service.admission`).  Its rows additionally
+report how many items were solved / rejected / shed and the sampled
+backlog trace — the unbounded baseline's backlog grows without bound
+while the bounded services' latency stays flat, which is the whole
+argument for admission control.  Latency percentiles always cover
+*solved* items only; rejected and shed items resolve in microseconds
+and would make an overloaded service look absurdly fast.
 """
 
 from __future__ import annotations
@@ -44,7 +58,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import SimulationError
+from ..errors import QueueFull, ShedError, SimulationError
 from ..jacobi.convergence import DEFAULT_TOL
 from ..jacobi.onesided import make_symmetric_test_matrix
 from ..service import JacobiService, TuningBounds
@@ -58,6 +72,8 @@ __all__ = [
     "FIXED_SETTINGS",
     "ADAPTIVE_START",
     "ADAPTIVE_BOUNDS",
+    "AdmissionSetting",
+    "OVERLOAD_SETTINGS",
     "LoadResult",
     "build_trace",
     "build_matrices",
@@ -159,6 +175,23 @@ def _mixed(items: int, rng: np.random.Generator) -> List[Arrival]:
     return out
 
 
+#: Overload trace shape: bursts of this many heavy eigen matrices ...
+OVERLOAD_BURST = 8
+#: ... every this many seconds — well above one-core solve capacity.
+OVERLOAD_PERIOD = 0.012
+#: Stretch factor of the uncontended twin replay (same bursts, period
+#: multiplied by this, so the service fully drains between bursts).
+OVERLOAD_STRETCH = 12.0
+
+
+def _overload(items: int, rng: np.random.Generator) -> List[Arrival]:
+    """Sustained overload: bursts of heavy (32x32) eigen matrices
+    arriving faster than they can be solved, so an unbounded queue
+    grows without bound for as long as the trace lasts."""
+    return [Arrival(at=(k // OVERLOAD_BURST) * OVERLOAD_PERIOD,
+                    kind="eigen", n=32, m=32) for k in range(items)]
+
+
 #: The bundled scenarios, in report order.
 SCENARIOS: Tuple[Scenario, ...] = (
     Scenario("trickle",
@@ -174,6 +207,10 @@ SCENARIOS: Tuple[Scenario, ...] = (
     Scenario("mixed",
              "interleaved eigen and SVD traffic classes",
              40, _mixed),
+    Scenario("overload",
+             "sustained arrivals above solve capacity; admission "
+             "policies vs the unbounded baseline",
+             96, _overload),
 )
 
 
@@ -215,6 +252,44 @@ ADAPTIVE_WINDOW = 5
 
 
 @dataclass(frozen=True)
+class AdmissionSetting:
+    """One admission configuration of the ``overload`` scenario grid.
+
+    Attributes
+    ----------
+    label:
+        Report label.
+    max_queue:
+        The service's queue bound (0 = unbounded).
+    admission:
+        Overload policy (see :mod:`repro.service.admission`).
+    default_deadline:
+        Per-request deadline in seconds for the ``"shed"`` policy
+        (``None`` for the others).
+    """
+
+    label: str
+    max_queue: int
+    admission: str
+    default_deadline: Optional[float] = None
+
+
+#: Batching limits shared by every overload replay — admission, not
+#: batching, is the variable under test.
+OVERLOAD_BATCH = 8
+OVERLOAD_DELAY = 0.01
+
+#: The overload scenario's settings grid: the unbounded baseline
+#: (backlog and latency grow without bound), fail-fast rejection with a
+#: one-batch queue, and deadline-based shedding with a deeper queue.
+OVERLOAD_SETTINGS: Tuple[AdmissionSetting, ...] = (
+    AdmissionSetting("unbounded", 0, "reject"),
+    AdmissionSetting("reject q=8", 8, "reject"),
+    AdmissionSetting("shed q=24 dl=60ms", 24, "shed", 0.06),
+)
+
+
+@dataclass(frozen=True)
 class LoadResult:
     """One (scenario, setting) replay outcome.
 
@@ -244,6 +319,20 @@ class LoadResult:
     tuning:
         The applied tuning trace as plain dicts (``t`` is seconds into
         the replay), JSON-ready; empty for fixed settings.
+    solved, rejected, shed:
+        Per-item outcomes: futures resolving to a result / submissions
+        refused with :class:`~repro.errors.QueueFull` / futures
+        resolving to :class:`~repro.errors.ShedError`.  On an
+        unbounded service ``solved == items``.  Latency percentiles
+        cover solved items only.
+    peak_backlog:
+        Largest sampled backlog (batcher queue plus in-flight items)
+        observed at any submission instant.
+    backlog:
+        The backlog samples (one per submission instant), downsampled
+        to at most 64 evenly-spaced points — the unbounded baseline's
+        grows monotonically under overload, the bounded settings' stay
+        capped at ``max_queue``.
     """
 
     scenario: str
@@ -258,6 +347,11 @@ class LoadResult:
     retunes: int
     final_limits: Dict[str, Tuple[int, float]] = field(default_factory=dict)
     tuning: List[Dict[str, Any]] = field(default_factory=list)
+    solved: int = 0
+    rejected: int = 0
+    shed: int = 0
+    peak_backlog: int = 0
+    backlog: List[int] = field(default_factory=list)
 
 
 def build_trace(scenario: Scenario, items: Optional[int] = None,
@@ -320,6 +414,8 @@ def replay(arrivals: Sequence[Arrival], matrices: Sequence[np.ndarray],
            adaptive: bool = False,
            tuning_bounds: Optional[TuningBounds] = None,
            tuning_window: int = ADAPTIVE_WINDOW,
+           max_queue: int = 0, admission: str = "reject",
+           default_deadline: Optional[float] = None,
            warmup_frac: float = 0.2, d: int = 2,
            tol: float = DEFAULT_TOL, timeout: float = 120.0) -> LoadResult:
     """Open-loop replay of one trace against one service configuration.
@@ -339,6 +435,17 @@ def replay(arrivals: Sequence[Arrival], matrices: Sequence[np.ndarray],
         :data:`ADAPTIVE_BOUNDS` when ``adaptive``).
     tuning_window:
         Hysteresis window of the adaptive controller.
+    max_queue:
+        The service's admission bound (0 = unbounded, the default —
+        exactly the pre-admission replay).
+    admission:
+        The service's overload policy at capacity (see
+        :mod:`repro.service.admission`).  Rejected submissions are
+        counted, not raised: an open-loop generator keeps firing the
+        trace regardless.
+    default_deadline:
+        Per-request deadline in seconds handed to the service
+        (``"shed"`` policy); ``None`` disables expiry.
     warmup_frac:
         Leading fraction of the trace excluded from the latency
         percentiles (steady-state measurement; throughput still covers
@@ -353,8 +460,9 @@ def replay(arrivals: Sequence[Arrival], matrices: Sequence[np.ndarray],
     Returns
     -------
     LoadResult
-        Post-warm-up p50/p99 latency, overall throughput, flush
-        counters and the tuning outcome.
+        Post-warm-up p50/p99 latency over *solved* items, overall
+        throughput, flush counters, per-item outcome counts, the
+        sampled backlog trace and the tuning outcome.
     """
     if len(arrivals) != len(matrices):
         raise SimulationError(
@@ -362,6 +470,7 @@ def replay(arrivals: Sequence[Arrival], matrices: Sequence[np.ndarray],
             f"{len(matrices)} matrices")
     n = len(arrivals)
     done_at: List[Optional[float]] = [None] * n
+    futures: List[Optional[Any]] = [None] * n
     # Completion is tracked through the callbacks, not wait(futures):
     # a future notifies waiters *before* running its callbacks, so
     # waiting on the futures could observe done_at entries still None.
@@ -369,43 +478,68 @@ def replay(arrivals: Sequence[Arrival], matrices: Sequence[np.ndarray],
     remaining_lock = threading.Lock()
     all_marked = threading.Event()
 
-    def _mark(i: int) -> Callable[[Any], None]:
-        def cb(_fut: Any) -> None:
+    def _done(i: Optional[int] = None) -> None:
+        if i is not None:
             done_at[i] = time.monotonic()
-            with remaining_lock:
-                remaining[0] -= 1
-                if remaining[0] == 0:
-                    all_marked.set()
-        return cb
+        with remaining_lock:
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                all_marked.set()
+
+    def _mark(i: int) -> Callable[[Any], None]:
+        return lambda _fut: _done(i)
 
     bounds = (tuning_bounds if tuning_bounds is not None
               else ADAPTIVE_BOUNDS) if adaptive else None
+    backlog: List[int] = []
+    rejected = 0
     with JacobiService(d=d, tol=tol, max_batch=max_batch,
                        max_delay=max_delay, adaptive=adaptive,
                        tuning_bounds=bounds,
-                       tuning_window=tuning_window) as svc:
+                       tuning_window=tuning_window,
+                       max_queue=max_queue, admission=admission,
+                       default_deadline=default_deadline) as svc:
         t0 = time.monotonic()
         for i, (a, A) in enumerate(zip(arrivals, matrices)):
             lag = t0 + a.at - time.monotonic()
             if lag > 0:
                 time.sleep(lag)
-            fut = (svc.submit(A) if a.kind == "eigen"
-                   else svc.submit(A, kind="svd"))
+            st = svc.stats()
+            backlog.append(st.queue_depth + st.inflight)
+            try:
+                fut = (svc.submit(A) if a.kind == "eigen"
+                       else svc.submit(A, kind="svd"))
+            except QueueFull:
+                rejected += 1
+                _done()  # no future: the submission never existed
+                continue
+            futures[i] = fut
             fut.add_done_callback(_mark(i))
         if not all_marked.wait(timeout):
             raise SimulationError(
                 f"{remaining[0]} of {n} futures unresolved after "
                 f"{timeout:.0f}s")
         stats = svc.stats()
-    lat = np.array([done_at[i] - (t0 + arrivals[i].at) for i in range(n)])
+    solved_idx = [i for i, f in enumerate(futures)
+                  if f is not None and f.exception() is None]
+    shed = sum(1 for f in futures
+               if f is not None and isinstance(f.exception(), ShedError))
     skip = int(np.ceil(warmup_frac * n)) if n > 1 else 0
-    sample = lat[skip:] if skip < n else lat
-    makespan = max(done_at) - t0 - arrivals[0].at
+    sample = np.array([done_at[i] - (t0 + arrivals[i].at)
+                       for i in solved_idx if i >= skip])
+    if not sample.size:  # all solved items fell in the warm-up window
+        sample = np.array([done_at[i] - (t0 + arrivals[i].at)
+                           for i in solved_idx])
+    resolved = [t for t in done_at if t is not None]
+    makespan = (max(resolved) - t0 - arrivals[0].at) if resolved else 0.0
+    step = max(1, -(-len(backlog) // 64))  # downsample to <= 64 points
     return LoadResult(
         scenario=scenario, label=label, items=n, measured=int(sample.size),
-        p50_ms=float(np.percentile(sample, 50) * 1e3),
-        p99_ms=float(np.percentile(sample, 99) * 1e3),
-        throughput=(n / makespan if makespan > 0 else 0.0),
+        p50_ms=(float(np.percentile(sample, 50) * 1e3)
+                if sample.size else 0.0),
+        p99_ms=(float(np.percentile(sample, 99) * 1e3)
+                if sample.size else 0.0),
+        throughput=(len(solved_idx) / makespan if makespan > 0 else 0.0),
         flushes=dict(stats.flushes),
         mean_batch_size=stats.mean_batch_size,
         retunes=len(stats.tuning),
@@ -414,7 +548,10 @@ def replay(arrivals: Sequence[Arrival], matrices: Sequence[np.ndarray],
                  "batch": [ev.batch_from, ev.batch_to],
                  "delay": [ev.delay_from, ev.delay_to],
                  "reason": ev.reason}
-                for ev in stats.tuning])
+                for ev in stats.tuning],
+        solved=len(solved_idx), rejected=rejected, shed=shed,
+        peak_backlog=max(backlog) if backlog else 0,
+        backlog=backlog[::step])
 
 
 def compute_load_bench(scenario_names: Optional[Sequence[str]] = None,
@@ -440,7 +577,9 @@ def compute_load_bench(scenario_names: Optional[Sequence[str]] = None,
     list of LoadResult
         Scenario-major, settings in :data:`FIXED_SETTINGS` order with
         the adaptive run last — what
-        :func:`render_load_bench` tabulates.
+        :func:`render_load_bench` tabulates.  The ``overload``
+        scenario instead contributes an uncontended stretched replay
+        followed by the :data:`OVERLOAD_SETTINGS` grid.
     """
     by_name = {s.name: s for s in SCENARIOS}
     if scenario_names is None:
@@ -456,6 +595,10 @@ def compute_load_bench(scenario_names: Optional[Sequence[str]] = None,
     for scenario in chosen:
         arrivals = build_trace(scenario, items=items, seed=seed)
         matrices = build_matrices(arrivals, seed=seed)
+        if scenario.name == "overload":
+            results.extend(_replay_overload(arrivals, matrices,
+                                            warmup_frac=warmup_frac))
+            continue
         for setting in FIXED_SETTINGS:
             results.append(replay(
                 arrivals, matrices, scenario=scenario.name,
@@ -466,6 +609,32 @@ def compute_load_bench(scenario_names: Optional[Sequence[str]] = None,
             label=ADAPTIVE_START.label,
             max_batch=ADAPTIVE_START.max_batch,
             max_delay=ADAPTIVE_START.max_delay, adaptive=True,
+            warmup_frac=warmup_frac))
+    return results
+
+
+def _replay_overload(arrivals: Sequence[Arrival],
+                     matrices: Sequence[np.ndarray],
+                     warmup_frac: float) -> List[LoadResult]:
+    """The overload scenario's settings grid: an uncontended stretched
+    twin (same bursts at 1/``OVERLOAD_STRETCH`` the rate, on half the
+    trace — the latency floor every bounded setting is judged
+    against), then every :data:`OVERLOAD_SETTINGS` admission
+    configuration on the full overload trace."""
+    half = max(OVERLOAD_BURST, len(arrivals) // 2)
+    stretched = [Arrival(at=a.at * OVERLOAD_STRETCH, kind=a.kind,
+                         n=a.n, m=a.m) for a in arrivals[:half]]
+    results = [replay(
+        stretched, matrices[:half], scenario="overload",
+        label="uncontended", max_batch=OVERLOAD_BATCH,
+        max_delay=OVERLOAD_DELAY, warmup_frac=warmup_frac)]
+    for setting in OVERLOAD_SETTINGS:
+        results.append(replay(
+            arrivals, matrices, scenario="overload",
+            label=setting.label, max_batch=OVERLOAD_BATCH,
+            max_delay=OVERLOAD_DELAY, max_queue=setting.max_queue,
+            admission=setting.admission,
+            default_deadline=setting.default_deadline,
             warmup_frac=warmup_frac))
     return results
 
@@ -484,15 +653,17 @@ def render_load_bench(rows: Sequence[LoadResult]) -> str:
         One table row per (scenario, setting) replay.
     """
     body = [[r.scenario, r.label, r.items,
+             f"{r.solved}/{r.rejected}/{r.shed}",
              f"{r.p50_ms:,.1f}", f"{r.p99_ms:,.1f}",
              f"{r.throughput:,.1f}",
              f"{r.flushes.get('size', 0)}/{r.flushes.get('deadline', 0)}"
              f"/{r.flushes.get('forced', 0)}",
-             f"{r.mean_batch_size:.1f}", r.retunes]
+             f"{r.mean_batch_size:.1f}", r.peak_backlog, r.retunes]
             for r in rows]
     return render_table(
-        ["scenario", "setting", "items", "p50 ms", "p99 ms", "solves/s",
-         "flushes s/d/f", "mean b", "retunes"],
+        ["scenario", "setting", "items", "ok/rej/shed", "p50 ms",
+         "p99 ms", "solves/s", "flushes s/d/f", "mean b", "peak q",
+         "retunes"],
         body, title="Micro-batching under live load: fixed vs adaptive")
 
 
@@ -519,5 +690,6 @@ def results_to_json(rows: Sequence[LoadResult], *, seed: int,
         "warmup_frac": warmup_frac,
         "fixed_settings": [asdict(s) for s in FIXED_SETTINGS],
         "adaptive_start": asdict(ADAPTIVE_START),
+        "overload_settings": [asdict(s) for s in OVERLOAD_SETTINGS],
         "results": [asdict(r) for r in rows],
     }, indent=2)

@@ -282,10 +282,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     lb = sub.add_parser("load-bench",
                         help="open-loop load scenarios: fixed vs "
-                             "adaptive micro-batching")
+                             "adaptive micro-batching, plus admission "
+                             "control under overload")
     lb.add_argument("--scenarios", default=None,
                     help="comma-separated scenario names (default: all; "
-                         "known: trickle, bursty, bimodal, mixed)")
+                         "known: trickle, bursty, bimodal, mixed, "
+                         "overload)")
     lb.add_argument("--items", type=int, default=None,
                     help="submissions per scenario (default: per-scenario "
                          "sizes)")

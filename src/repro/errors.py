@@ -16,6 +16,9 @@ __all__ = [
     "PipeliningError",
     "ConvergenceError",
     "SimulationError",
+    "AdmissionError",
+    "QueueFull",
+    "ShedError",
 ]
 
 
@@ -80,3 +83,28 @@ class SimulationError(ReproError):
     Examples: two blocks routed to the same slot of the same node, or a
     message sent along a link that is not attached to the sending node.
     """
+
+
+class AdmissionError(ReproError):
+    """The solve service's bounded admission layer turned work away.
+
+    Base class for every overload outcome (:class:`QueueFull`,
+    :class:`ShedError`) so a caller can handle "the service chose not
+    to run this" with one ``except`` clause.  Admission only ever
+    decides *whether* work runs, never *how* — admitted matrices keep
+    the service's bit-identity contract.
+    """
+
+
+class QueueFull(AdmissionError):
+    """A submission was rejected synchronously: the service's
+    ``max_queue`` bound (queued plus in-flight items) was reached and
+    the admission policy chose rejection — either immediately
+    (``admission="reject"``) or after a blocking wait timed out
+    (``admission="block"``)."""
+
+
+class ShedError(AdmissionError):
+    """A queued item's per-request deadline lapsed before its flush, so
+    the service shed it: the future resolves with this error instead of
+    the item occupying a batch."""

@@ -17,12 +17,18 @@ usable alone:
   key's ``max_batch``/``max_delay`` from observed flush causes, queue
   depths, waits and solve latencies, within caller-set
   :class:`TuningBounds`, through a pluggable hysteresis policy.
+* :mod:`repro.service.admission` — :class:`AdmissionGate` bounds the
+  service backlog: a ``max_queue`` limit over queued plus in-flight
+  items, enforced at submit time under one of three overload policies
+  (synchronous rejection, blocking-with-timeout admission, or
+  deadline-based shedding).
 * :mod:`repro.service.api` — :class:`JacobiService`, the facade serving
   two traffic classes: ``submit(A) -> Future[SolveResult]`` for
   symmetric eigenproblems and ``submit(A, kind="svd") ->
   Future[SvdResult]`` for tall/square thin SVDs, with separate eigen/SVD
-  micro-batches, ``solve_many``, queue/throughput stats per kind, and
-  ``adaptive=True`` self-tuning batching.
+  micro-batches, ``solve_many``, queue/throughput stats per kind,
+  ``adaptive=True`` self-tuning batching, and bounded admission
+  (``max_queue`` / ``admission`` / ``default_deadline``).
 
 Results are bit-identical to the in-process engines — and through them
 to the sequential per-matrix solvers (``ParallelOneSidedJacobi`` for
@@ -31,6 +37,7 @@ count, shard size and batching schedule.  Parallelism here is purely a
 throughput knob, never an accuracy trade.
 """
 
+from ..errors import AdmissionError, QueueFull, ShedError
 from .adaptive import (
     AdaptiveController,
     HysteresisPolicy,
@@ -38,6 +45,7 @@ from .adaptive import (
     TuningBounds,
     TuningEvent,
 )
+from .admission import ADMISSION_POLICIES, AdmissionDecision, AdmissionGate
 from .api import KINDS, JacobiService, ServiceStats, SolveResult, SvdResult
 from .batcher import FlushEvent, MicroBatcher
 from .pool import (
@@ -57,6 +65,12 @@ from .pool import (
 )
 
 __all__ = [
+    "ADMISSION_POLICIES",
+    "AdmissionDecision",
+    "AdmissionError",
+    "AdmissionGate",
+    "QueueFull",
+    "ShedError",
     "KINDS",
     "JacobiService",
     "ServiceStats",

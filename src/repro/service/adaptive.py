@@ -123,6 +123,12 @@ class Observation:
         Wall-clock seconds the flushed batch took to solve, when the
         service had it (``None`` for flushes whose latency was not
         observed, e.g. failures).
+    shed_before:
+        Same-key items the service *shed* (deadline-based admission,
+        see :mod:`repro.service.admission`) since the previous
+        observation of this key.  Shed traffic was never solved, so the
+        policy must not mistake its backlog for demand worth growing
+        capacity for.
     """
 
     cause: str
@@ -130,6 +136,7 @@ class Observation:
     waited: float
     queued_after: int
     solve_latency: Optional[float]
+    shed_before: int = 0
 
 
 @dataclass(frozen=True)
@@ -195,6 +202,14 @@ class HysteresisPolicy:
     Returns ``None`` (keep) unless a full window agrees; saturation is
     checked before deadline dominance, so a key that is somehow both
     grows its batch first and reconsiders its delay a window later.
+
+    Windows containing shed traffic (``shed_before > 0`` on any
+    observation) never grow ``max_batch``: under deadline-based
+    shedding the backlog behind a size flush is partly stale work the
+    admission layer is already discarding, and growing the batch
+    ceiling for it would tune throughput on traffic that never gets
+    solved.  The delay-shrink response stays available — it acts on
+    flushes that *did* solve.
     """
 
     grow: float = 2.0
@@ -235,7 +250,8 @@ class HysteresisPolicy:
         saturated = sum(1 for o in window
                         if o.cause == "size" and o.queued_after > 0)
         deadlined = sum(1 for o in window if o.cause == "deadline")
-        if saturated / n >= self.saturation_ratio:
+        shedding = any(o.shed_before > 0 for o in window)
+        if not shedding and saturated / n >= self.saturation_ratio:
             new_batch = max(batch + 1, int(math.ceil(batch * self.grow)))
             return (new_batch, delay, "size-saturated: grow max_batch")
         if deadlined / n >= self.deadline_ratio:
@@ -297,6 +313,7 @@ class AdaptiveController:
         self._clock = clock
         self._windows: Dict[Hashable, List[Observation]] = {}
         self._limits: Dict[Hashable, Tuple[int, float]] = {}
+        self._shed_pending: Dict[Hashable, int] = {}
         self._trace: Deque[TuningEvent] = deque(maxlen=int(trace_limit))
 
     # ------------------------------------------------------------------
@@ -312,6 +329,26 @@ class AdaptiveController:
         return tuple(self._trace)
 
     # ------------------------------------------------------------------
+    def record_shed(self, key: Hashable, count: int) -> None:
+        """Tell the controller ``count`` items of ``key`` were shed.
+
+        Parameters
+        ----------
+        key:
+            The traffic key whose queued items were shed.
+        count:
+            Items shed since the last call (accumulated until the
+            key's next flush observation, which carries the total as
+            :attr:`Observation.shed_before`).
+
+        Shed items never reach a flush, so without this side channel
+        the controller would see only the survivors and happily grow
+        ``max_batch`` on backlog the admission layer is discarding.
+        """
+        if count > 0:
+            self._shed_pending[key] = \
+                self._shed_pending.get(key, 0) + int(count)
+
     def observe(self, event: FlushEvent,
                 solve_latency: Optional[float] = None,
                 now: Optional[float] = None) -> Optional[TuningEvent]:
@@ -344,7 +381,8 @@ class AdaptiveController:
         window.append(Observation(
             cause=event.cause, size=event.size,
             waited=event.waited, queued_after=event.queued_after,
-            solve_latency=solve_latency))
+            solve_latency=solve_latency,
+            shed_before=self._shed_pending.pop(key, 0)))
         if len(window) < self.window:
             return None
         decision = self.policy(tuple(window), batch, delay, self.bounds)

@@ -35,6 +35,16 @@ resolves to a result with ``converged=False``.  Invalid submissions
 rejected synchronously at :meth:`~JacobiService.submit` so one bad
 matrix can never poison a micro-batch.
 
+The service can also bound its own backlog: ``max_queue`` caps queued
+plus in-flight items, and the ``admission`` policy decides what happens
+at capacity — synchronous :class:`~repro.errors.QueueFull` rejection,
+blocking-with-timeout admission, or deadline-based shedding where a
+queued item whose per-request ``deadline`` lapses resolves to
+:class:`~repro.errors.ShedError` instead of occupying a batch (see
+:mod:`repro.service.admission`).  Admission only decides *whether* work
+runs, never *how*: every admitted matrix stays bit-identical to its
+sequential twin.
+
 Example
 -------
 >>> import numpy as np
@@ -54,17 +64,19 @@ from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import SimulationError
+from ..errors import QueueFull, ShedError, SimulationError
 from ..jacobi.convergence import DEFAULT_TOL
 from ..jacobi.svd import SvdResult
 from ..orderings.base import get_ordering
 from .adaptive import AdaptiveController, TuningBounds, TuningEvent
+from .admission import AdmissionDecision, AdmissionGate
 from .batcher import FLUSH_CAUSES, FlushEvent, MicroBatcher
 from .pool import ShardedExecutor, solve_batch_remote, solve_svd_batch_remote
 
@@ -106,8 +118,14 @@ class SolveResult:
 class ServiceStats:
     """Queue/throughput counters of a :class:`JacobiService`.
 
-    ``submitted`` / ``completed`` / ``failed`` are lifetime item
-    counters and ``queue_depth`` the items currently queued;
+    ``submitted`` / ``completed`` / ``failed`` / ``cancelled`` are
+    lifetime item counters (``cancelled`` counts futures the *caller*
+    cancelled before their result landed — they are not throughput);
+    ``queue_depth`` is the items queued in the batcher awaiting a
+    flush, and ``inflight`` the dispatched-but-unsettled items (their
+    batch is being solved but the futures have not resolved) — an
+    item counts toward exactly one of the two, and admission counts
+    both against ``max_queue``;
     ``flushes`` counts released micro-batches by cause (``size`` /
     ``deadline`` / ``forced``) and ``batches`` is their sum;
     ``submitted_by_kind`` splits the submission counter per traffic
@@ -116,6 +134,20 @@ class ServiceStats:
     ``elapsed`` is seconds since the first submission and
     ``throughput`` completed solves per second over it (0.0 before any
     work completes).
+
+    The admission fields expose saturation (see
+    :mod:`repro.service.admission`):
+
+    * ``rejected`` — submissions turned away with
+      :class:`~repro.errors.QueueFull` (immediately, or after a
+      ``"block"`` wait timed out);
+    * ``shed`` — queued items whose per-request deadline lapsed before
+      their flush (futures resolved with
+      :class:`~repro.errors.ShedError`);
+    * ``queue_limit`` — the service's ``max_queue`` (0 = unbounded);
+    * ``saturation`` — occupancy ratio ``(queue_depth + inflight) /
+      queue_limit`` (0.0 when unbounded): 1.0 means the next submit
+      hits the overload policy.
 
     The adaptive fields expose the tuning loop:
 
@@ -135,7 +167,13 @@ class ServiceStats:
     submitted: int
     completed: int
     failed: int
+    cancelled: int
     queue_depth: int
+    inflight: int
+    rejected: int
+    shed: int
+    queue_limit: int
+    saturation: float
     flushes: Dict[str, int]
     submitted_by_kind: Dict[str, int]
     batches: int
@@ -173,6 +211,26 @@ class JacobiService:
         Micro-batching knobs (see
         :class:`~repro.service.batcher.MicroBatcher`).  With
         ``adaptive=True`` these are only the *starting* values.
+    max_queue:
+        Service-wide admission bound, counting queued **and**
+        in-flight items (``0`` = unbounded, the default).  When the
+        bound is reached, :meth:`submit` applies the ``admission``
+        policy instead of queueing.
+    admission:
+        Overload policy at capacity — ``"reject"`` (synchronous
+        :class:`~repro.errors.QueueFull`), ``"block"`` (wait up to
+        ``admission_timeout`` seconds for capacity, then
+        :class:`~repro.errors.QueueFull`), or ``"shed"`` (shed expired
+        queued items to make room, else reject).  See
+        :mod:`repro.service.admission`.
+    admission_timeout:
+        Seconds a ``"block"``-policy submission may wait for capacity.
+    default_deadline:
+        Default per-request deadline in seconds: a queued item older
+        than its deadline is shed (future resolves with
+        :class:`~repro.errors.ShedError`) instead of occupying a
+        batch.  ``None`` (default) means only submissions with an
+        explicit ``deadline`` expire.
     workers:
         ``0``/``1`` solves flushes on the dispatcher thread; ``>= 2``
         fans them out to that many worker processes.
@@ -213,6 +271,9 @@ class JacobiService:
     def __init__(self, d: int = 2, ordering: str = "degree4",
                  tol: float = DEFAULT_TOL, max_sweeps: int = 60,
                  max_batch: int = 16, max_delay: float = 0.02,
+                 max_queue: int = 0, admission: str = "reject",
+                 admission_timeout: float = 1.0,
+                 default_deadline: Optional[float] = None,
                  workers: int = 0, compute_eigenvectors: bool = True,
                  executor: Optional[ShardedExecutor] = None,
                  adaptive: bool = False,
@@ -229,6 +290,10 @@ class JacobiService:
         self.adaptive = bool(adaptive)
         self._clock = time.monotonic
         self._cond = threading.Condition()
+        self._gate = AdmissionGate(max_queue=max_queue, policy=admission,
+                                   block_timeout=admission_timeout,
+                                   default_deadline=default_deadline,
+                                   clock=self._clock)
         self._batcher = MicroBatcher(max_batch=max_batch,
                                      max_delay=max_delay,
                                      clock=self._clock)
@@ -261,6 +326,10 @@ class JacobiService:
         self._submitted = 0
         self._completed = 0
         self._failed = 0
+        self._cancelled = 0
+        self._rejected = 0
+        self._shed = 0
+        self._pending_remote: Dict["Future[Any]", List["_Item"]] = {}
         self._flushes = {cause: 0 for cause in FLUSH_CAUSES}
         self._submitted_by_kind = {kind: 0 for kind in KINDS}
         self._batched_items = 0
@@ -308,7 +377,8 @@ class JacobiService:
 
     def submit(self, A: np.ndarray, *, kind: str = "eigen",
                ordering: Optional[str] = None,
-               d: Optional[int] = None) -> "Future[Any]":
+               d: Optional[int] = None,
+               deadline: Optional[float] = None) -> "Future[Any]":
         """Queue one matrix; resolve to its per-matrix result.
 
         Parameters
@@ -326,6 +396,12 @@ class JacobiService:
             Per-submission overrides of the eigen traffic class's
             service defaults (do not apply to SVD traffic and are
             rejected there).
+        deadline:
+            Per-request deadline in seconds (overrides the service's
+            ``default_deadline``): if the item is still queued this
+            long after submission, it is shed — the future resolves
+            with :class:`~repro.errors.ShedError` instead of the item
+            occupying a batch.  ``None`` keeps the service default.
 
         Returns
         -------
@@ -335,6 +411,15 @@ class JacobiService:
             ordering, d)`` / ``("svd", n, m)`` — so mixed traffic
             coexists on one service and the two classes never share a
             flush.
+
+        Raises
+        ------
+        QueueFull
+            The service is at its ``max_queue`` bound and the
+            admission policy rejected the submission (immediately
+            under ``"reject"``, after the wait timed out under
+            ``"block"``, or because shedding freed no room under
+            ``"shed"``).
         """
         if kind not in KINDS:
             raise SimulationError(
@@ -353,17 +438,52 @@ class JacobiService:
             A = self._validate(A, dim)
             key = ("eigen", A.shape[0], name, dim)
         future: "Future[Any]" = Future()
-        with self._cond:
-            if self._closed:
-                raise SimulationError("service is closed")
-            if self._first_submit is None:
-                self._first_submit = self._clock()
-            self._submitted += 1
-            self._submitted_by_kind[kind] += 1
-            self._inflight += 1
-            self._batcher.submit(key, _Item(matrix=A, future=future))
-            self._ensure_thread()
-            self._cond.notify_all()
+        shed: List[_Item] = []
+        try:
+            with self._cond:
+                if self._closed:
+                    raise SimulationError("service is closed")
+                decision = self._gate.decide(self._inflight)
+                if decision.action == "shed":
+                    # At capacity under the shed policy: drop expired
+                    # queued items to make room before giving up.
+                    shed = self._pop_expired_locked()
+                    decision = AdmissionDecision(
+                        "admit" if self._inflight < self._gate.max_queue
+                        else "reject")
+                elif decision.action == "block":
+                    while (not self._closed
+                           and self._inflight >= self._gate.max_queue):
+                        remaining = decision.give_up - self._clock()
+                        if remaining <= 0:
+                            break
+                        self._cond.wait(remaining)
+                    if self._closed:
+                        raise SimulationError("service is closed")
+                    decision = AdmissionDecision(
+                        "admit" if self._inflight < self._gate.max_queue
+                        else "reject")
+                if decision.action == "reject":
+                    self._rejected += 1
+                    raise QueueFull(
+                        f"service queue full: {self._inflight} items "
+                        f"queued or in flight at max_queue="
+                        f"{self._gate.max_queue} "
+                        f"({self._gate.policy} policy)")
+                # Queue first, then move the counters: an exception
+                # from the batcher must not leak a phantom in-flight
+                # item that close() would wait on forever.
+                self._batcher.submit(key, _Item(matrix=A, future=future),
+                                     expires=self._gate.expiry(deadline))
+                if self._first_submit is None:
+                    self._first_submit = self._clock()
+                self._submitted += 1
+                self._submitted_by_kind[kind] += 1
+                self._inflight += 1
+                self._ensure_thread()
+                self._cond.notify_all()
+        finally:
+            self._resolve_shed(shed)
         return future
 
     def solve_many(self, matrices: Sequence[np.ndarray], *,
@@ -390,12 +510,16 @@ class JacobiService:
     def _run(self) -> None:
         while True:
             with self._cond:
+                # Shed stale work before it can occupy a batch; the
+                # futures are resolved outside the lock (a done-callback
+                # re-entering submit() must not deadlock on _cond).
+                shed = self._pop_expired_locked()
                 if self._force:
                     events = self._batcher.drain()
                     self._force = False
                 else:
                     events = self._batcher.pop_ready()
-                if not events:
+                if not events and not shed:
                     if self._closed and not self._batcher.pending():
                         return
                     deadline = self._batcher.next_deadline()
@@ -403,8 +527,46 @@ class JacobiService:
                                else max(0.0, deadline - self._clock()))
                     self._cond.wait(timeout)
                     continue
+            self._resolve_shed(shed)
             for event in events:
                 self._dispatch(event)
+
+    def _pop_expired_locked(self) -> List[_Item]:
+        """Drop every expired queued item (caller holds ``_cond``).
+
+        Accounts the drop — ``shed`` counter up, in-flight down, the
+        adaptive controller told per key so it does not read a shed
+        backlog as demand — and wakes any ``"block"``-policy waiter.
+        The returned items' futures are still unresolved; the caller
+        must hand them to :meth:`_resolve_shed` *after* releasing the
+        lock.
+        """
+        dropped = self._batcher.pop_expired()
+        if not dropped:
+            return []
+        self._shed += len(dropped)
+        self._inflight -= len(dropped)
+        if self._controller is not None:
+            counts: Dict[Any, int] = {}
+            for key, _ in dropped:
+                counts[key] = counts.get(key, 0) + 1
+            for key, count in counts.items():
+                self._controller.record_shed(key, count)
+        self._cond.notify_all()
+        return [item for _, item in dropped]
+
+    def _resolve_shed(self, items: List[_Item]) -> None:
+        """Resolve shed items' futures to ShedError (without ``_cond``
+        held — future done-callbacks run inline here)."""
+        if not items:
+            return
+        for item in items:
+            try:
+                item.future.set_exception(ShedError(
+                    "request deadline lapsed before its micro-batch "
+                    "flushed; the item was shed, not solved"))
+            except InvalidStateError:
+                pass  # caller cancelled the future; shed anyway
 
     def _dispatch(self, event: FlushEvent) -> None:
         # Every exit of this method must settle or fail the items: an
@@ -434,6 +596,13 @@ class JacobiService:
             if (self._executor is not None
                     and self._executor.uses_processes):
                 fut = self._executor.submit(solve, payload)
+                # Register before wiring the callback: if the pool
+                # breaks mid-flush, close() sweeps this registry and
+                # fails the stranded items instead of waiting forever;
+                # whoever pops the entry first (callback or sweep)
+                # owns settling it.
+                with self._cond:
+                    self._pending_remote[fut] = items
                 fut.add_done_callback(
                     lambda f, its=items, ev=event:
                         self._complete_remote(its, ev, f))
@@ -450,6 +619,10 @@ class JacobiService:
         """Resolve one remotely-solved flush (runs on a pool callback
         thread): failures fail the futures, successes feed the adaptive
         observation loop and settle them."""
+        with self._cond:
+            claimed = self._pending_remote.pop(fut, None)
+        if claimed is None:
+            return  # close() already swept and failed these items
         exc = fut.exception()
         if exc is not None:
             self._fail(items, exc)
@@ -481,6 +654,8 @@ class JacobiService:
 
     def _settle(self, items: List[_Item],
                 out: Dict[str, np.ndarray]) -> None:
+        completed = 0
+        cancelled = 0
         for k, item in enumerate(items):
             # Build the result outside the guard: a malformed backend
             # payload must fail the future loudly, never be swallowed.
@@ -498,26 +673,33 @@ class JacobiService:
                         converged=bool(out["converged"][k]))
             except Exception as exc:
                 self._fail(items[k:], exc)
-                items = items[:k]
                 break
             try:
                 item.future.set_result(result)
-            except Exception:
-                pass  # caller cancelled the future; result discarded
+                completed += 1
+            except InvalidStateError:
+                cancelled += 1  # caller cancelled; result discarded
         with self._cond:
-            self._completed += len(items)
-            self._inflight -= len(items)
+            self._completed += completed
+            self._cancelled += cancelled
+            self._inflight -= completed + cancelled
             self._cond.notify_all()
 
     def _fail(self, items: List[_Item], exc: BaseException) -> None:
+        if not items:
+            return
+        failed = 0
+        cancelled = 0
         for item in items:
             try:
                 item.future.set_exception(exc)
-            except Exception:
-                pass  # caller cancelled the future; error discarded
+                failed += 1
+            except InvalidStateError:
+                cancelled += 1  # caller cancelled; error discarded
         with self._cond:
-            self._failed += len(items)
-            self._inflight -= len(items)
+            self._failed += failed
+            self._cancelled += cancelled
+            self._inflight -= failed + cancelled
             self._cond.notify_all()
 
     # ------------------------------------------------------------------
@@ -535,11 +717,19 @@ class JacobiService:
             elapsed = (0.0 if self._first_submit is None
                        else self._clock() - self._first_submit)
             batches = sum(self._flushes.values())
+            queued = self._batcher.pending()
             return ServiceStats(
                 submitted=self._submitted,
                 completed=self._completed,
                 failed=self._failed,
-                queue_depth=self._batcher.pending(),
+                cancelled=self._cancelled,
+                queue_depth=queued,
+                inflight=self._inflight - queued,
+                rejected=self._rejected,
+                shed=self._shed,
+                queue_limit=self._gate.max_queue,
+                saturation=(self._inflight / self._gate.max_queue
+                            if self._gate.bounded else 0.0),
                 flushes=dict(self._flushes),
                 submitted_by_kind=dict(self._submitted_by_kind),
                 batches=batches,
@@ -560,7 +750,13 @@ class JacobiService:
                     for kind in KINDS})
 
     def close(self) -> None:
-        """Drain the queue, resolve every future, stop the dispatcher."""
+        """Drain the queue, resolve every future, stop the dispatcher.
+
+        Overload-safe: if a worker process dies mid-flush (the pool
+        reports itself broken), the stranded in-flight futures are
+        failed with :class:`~concurrent.futures.process.BrokenProcessPool`
+        instead of being waited on forever.
+        """
         with self._cond:
             if self._closed:
                 return
@@ -569,9 +765,24 @@ class JacobiService:
             self._cond.notify_all()
         if self._thread is not None:
             self._thread.join()
-        with self._cond:
-            while self._inflight:
-                self._cond.wait()
+        while True:
+            stranded: List[List[_Item]] = []
+            with self._cond:
+                if not self._inflight:
+                    break
+                self._cond.wait(timeout=0.25)
+                if not self._inflight:
+                    break
+                if (self._executor is not None
+                        and getattr(self._executor, "broken", False)):
+                    stranded = [self._pending_remote.pop(f)
+                                for f in list(self._pending_remote)]
+            if stranded:
+                exc = BrokenProcessPool(
+                    "a worker process died mid-flush; failing its "
+                    "in-flight futures")
+                for items in stranded:
+                    self._fail(items, exc)
         if self._own_executor and self._executor is not None:
             self._executor.shutdown()
 

@@ -25,6 +25,14 @@ Every :class:`FlushEvent` reports the limits that were in effect and
 the backlog the release left behind, so a tuning policy can judge
 whether the current settings fit the observed traffic.
 
+Items can additionally carry a per-item *expiry* (an absolute clock
+value): :meth:`pop_expired` removes and returns everything past its
+expiry so the owner can shed stale work instead of batching it — the
+hook behind the service's deadline-based admission policy
+(:mod:`repro.service.admission`).  Expiries participate in
+:meth:`next_deadline`, so a dispatcher sleeping on the batcher wakes in
+time to shed.
+
 The class is deliberately *passive*: it never spawns threads or sleeps.
 Callers inject a ``clock`` and drive :meth:`pop_ready` themselves —
 :class:`~repro.service.api.JacobiService` does so from its dispatcher
@@ -92,6 +100,7 @@ class FlushEvent:
 class _Group:
     items: List[Any] = field(default_factory=list)
     arrived: List[float] = field(default_factory=list)
+    expires: List[Optional[float]] = field(default_factory=list)
 
 
 class MicroBatcher:
@@ -179,7 +188,8 @@ class MicroBatcher:
 
     # ------------------------------------------------------------------
     def submit(self, key: Hashable, item: Any,
-               now: Optional[float] = None) -> bool:
+               now: Optional[float] = None,
+               expires: Optional[float] = None) -> bool:
         """Queue one item.
 
         Parameters
@@ -190,6 +200,10 @@ class MicroBatcher:
             Opaque payload, handed back in the :class:`FlushEvent`.
         now:
             Clock override (defaults to the injected clock).
+        expires:
+            Absolute clock value past which the item is stale and
+            should be shed via :meth:`pop_expired` rather than flushed
+            (``None`` = never expires).
 
         Returns
         -------
@@ -201,6 +215,7 @@ class MicroBatcher:
         group = self._groups.setdefault(key, _Group())
         group.items.append(item)
         group.arrived.append(now)
+        group.expires.append(None if expires is None else float(expires))
         return len(group.items) >= self.limits_for(key)[0]
 
     def pending(self) -> int:
@@ -212,14 +227,53 @@ class MicroBatcher:
         return {key: len(g.items) for key, g in self._groups.items()}
 
     def next_deadline(self) -> Optional[float]:
-        """Clock value at which the earliest group expires (None when
-        empty) — what a dispatcher thread should sleep until.  Each
-        group expires by its key's own ``max_delay``."""
+        """Clock value at which the earliest group flushes *or the
+        earliest item expires* (None when empty) — what a dispatcher
+        thread should sleep until.  Each group flushes by its key's own
+        ``max_delay``; item expiries (see :meth:`submit`) are folded in
+        so the owner wakes in time to shed stale work."""
         deadlines = [g.arrived[0] + self.limits_for(key)[1]
                      for key, g in self._groups.items() if g.items]
+        deadlines.extend(e for g in self._groups.values()
+                         for e in g.expires if e is not None)
         if not deadlines:
             return None
         return min(deadlines)
+
+    def pop_expired(self, now: Optional[float] = None
+                    ) -> List[Tuple[Hashable, Any]]:
+        """Remove and return every item past its expiry.
+
+        Parameters
+        ----------
+        now:
+            Clock override (defaults to the injected clock).
+
+        Returns
+        -------
+        list of (key, item)
+            The stale payloads in arrival order per key, removed from
+            their groups — the caller sheds them (fails their futures)
+            instead of ever batching them.  Items submitted without an
+            expiry are never returned.
+        """
+        now = self._clock() if now is None else now
+        dropped: List[Tuple[Hashable, Any]] = []
+        for key in list(self._groups):
+            group = self._groups[key]
+            keep = [k for k, e in enumerate(group.expires)
+                    if e is None or e > now]
+            if len(keep) == len(group.items):
+                continue
+            dropped.extend((key, group.items[k])
+                           for k, e in enumerate(group.expires)
+                           if e is not None and e <= now)
+            group.items = [group.items[k] for k in keep]
+            group.arrived = [group.arrived[k] for k in keep]
+            group.expires = [group.expires[k] for k in keep]
+            if not group.items:
+                del self._groups[key]
+        return dropped
 
     # ------------------------------------------------------------------
     def _release(self, key: Hashable, count: int, cause: str,
@@ -230,6 +284,7 @@ class MicroBatcher:
         waited = now - group.arrived[0]
         del group.items[:count]
         del group.arrived[:count]
+        del group.expires[:count]
         queued_after = len(group.items)
         if not group.items:
             del self._groups[key]

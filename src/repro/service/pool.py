@@ -295,6 +295,16 @@ class ShardedExecutor:
         """Whether dispatch goes to a process pool (``workers >= 2``)."""
         return self.workers >= 2
 
+    @property
+    def broken(self) -> bool:
+        """Whether the underlying process pool is broken (a worker died
+        and the pool can no longer accept work).  ``False`` for inline
+        executors and pools that were never started.  Waiters use this
+        to fail stranded work instead of blocking forever — see
+        :meth:`repro.service.api.JacobiService.close`."""
+        pool = self._pool
+        return bool(pool is not None and getattr(pool, "_broken", False))
+
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
             ctx = multiprocessing.get_context(self.mp_context)

@@ -1,0 +1,398 @@
+"""Bounded admission: policies, shedding, and overload-safe shutdown.
+
+The :class:`~repro.service.admission.AdmissionGate` and the batcher's
+expiry machinery are pinned with fake clocks (no sleeps, no races); the
+service-level integration tests then exercise the real dispatcher
+thread with generous delays, the same split as the batcher/service
+test modules.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from concurrent.futures.process import BrokenProcessPool
+
+import numpy as np
+import pytest
+
+from repro.errors import AdmissionError, QueueFull, ShedError, SimulationError
+from repro.jacobi import ParallelOneSidedJacobi, make_symmetric_test_matrix
+from repro.orderings import get_ordering
+from repro.service import (
+    ADMISSION_POLICIES,
+    AdmissionGate,
+    JacobiService,
+    MicroBatcher,
+)
+
+
+def _mats(m, count, seed=0):
+    return [make_symmetric_test_matrix(m, rng=(seed, k))
+            for k in range(count)]
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+# ----------------------------------------------------------------------
+class TestAdmissionGate:
+    def test_validation(self):
+        with pytest.raises(SimulationError, match="max_queue"):
+            AdmissionGate(max_queue=-1)
+        with pytest.raises(SimulationError, match="unknown admission"):
+            AdmissionGate(policy="nope")
+        with pytest.raises(SimulationError, match="block_timeout"):
+            AdmissionGate(policy="block", block_timeout=0.0)
+        with pytest.raises(SimulationError, match="default_deadline"):
+            AdmissionGate(default_deadline=0.0)
+
+    def test_unbounded_always_admits(self):
+        gate = AdmissionGate(max_queue=0, clock=FakeClock())
+        assert not gate.bounded
+        for used in (0, 1, 10**6):
+            assert gate.decide(used).action == "admit"
+
+    def test_reject_policy_at_capacity(self):
+        gate = AdmissionGate(max_queue=3, policy="reject",
+                             clock=FakeClock())
+        assert gate.bounded
+        assert gate.decide(2).action == "admit"
+        assert gate.decide(3).action == "reject"
+        assert gate.decide(4).action == "reject"
+
+    def test_block_policy_carries_give_up_instant(self):
+        clock = FakeClock(100.0)
+        gate = AdmissionGate(max_queue=2, policy="block",
+                             block_timeout=0.5, clock=clock)
+        assert gate.decide(1).action == "admit"
+        decision = gate.decide(2)
+        assert decision.action == "block"
+        assert decision.give_up == pytest.approx(100.5)
+        clock.advance(7.0)  # give_up tracks the clock at decision time
+        assert gate.decide(2).give_up == pytest.approx(107.5)
+
+    def test_shed_policy_at_capacity(self):
+        gate = AdmissionGate(max_queue=1, policy="shed",
+                             default_deadline=0.1, clock=FakeClock())
+        assert gate.decide(0).action == "admit"
+        assert gate.decide(1).action == "shed"
+
+    def test_expiry_stamping(self):
+        clock = FakeClock(10.0)
+        gate = AdmissionGate(max_queue=2, policy="shed",
+                             default_deadline=0.5, clock=clock)
+        assert gate.expiry() == pytest.approx(10.5)  # default deadline
+        assert gate.expiry(deadline=0.1) == pytest.approx(10.1)
+        with pytest.raises(SimulationError, match="deadline"):
+            gate.expiry(deadline=-1.0)
+        no_default = AdmissionGate(clock=clock)
+        assert no_default.expiry() is None
+
+    def test_policies_registry_matches_errors(self):
+        assert ADMISSION_POLICIES == ("reject", "block", "shed")
+        assert issubclass(QueueFull, AdmissionError)
+        assert issubclass(ShedError, AdmissionError)
+
+
+# ----------------------------------------------------------------------
+class TestBatcherExpiry:
+    def test_pop_expired_removes_only_stale_items(self):
+        clock = FakeClock()
+        b = MicroBatcher(max_batch=10, max_delay=60.0, clock=clock)
+        b.submit("k", "eternal")
+        b.submit("k", "stale", expires=1.0)
+        b.submit("k", "fresh", expires=5.0)
+        assert b.pop_expired() == []
+        clock.advance(2.0)
+        assert b.pop_expired() == [("k", "stale")]
+        assert b.pending() == 2
+        clock.advance(10.0)  # "eternal" never expires
+        assert b.pop_expired() == [("k", "fresh")]
+        assert b.pending() == 1
+
+    def test_empty_group_is_garbage_collected(self):
+        clock = FakeClock()
+        b = MicroBatcher(max_batch=10, max_delay=60.0, clock=clock)
+        b.submit("k", "a", expires=1.0)
+        clock.advance(2.0)
+        assert b.pop_expired() == [("k", "a")]
+        assert b.group_sizes() == {}
+        assert b.next_deadline() is None
+
+    def test_next_deadline_folds_in_expiries(self):
+        clock = FakeClock()
+        b = MicroBatcher(max_batch=10, max_delay=60.0, clock=clock)
+        b.submit("k", "a")
+        assert b.next_deadline() == pytest.approx(60.0)  # group delay
+        b.submit("k", "b", expires=0.5)
+        assert b.next_deadline() == pytest.approx(0.5)  # expiry is sooner
+
+    def test_flush_forgets_expiries(self):
+        clock = FakeClock()
+        b = MicroBatcher(max_batch=2, max_delay=60.0, clock=clock)
+        b.submit("k", "a", expires=1.0)
+        b.submit("k", "b", expires=1.0)
+        (ev,) = b.pop_ready()
+        assert ev.items == ("a", "b")
+        clock.advance(5.0)
+        assert b.pop_expired() == []  # flushed items can't be shed
+
+
+# ----------------------------------------------------------------------
+class TestRejectPolicy:
+    def test_queue_full_raises_and_counts(self):
+        with JacobiService(d=1, max_batch=100, max_delay=60.0,
+                           max_queue=2) as svc:
+            futures = [svc.submit(A) for A in _mats(8, 2)]
+            with pytest.raises(QueueFull, match="max_queue=2"):
+                svc.submit(_mats(8, 1, seed=9)[0])
+            st = svc.stats()
+            assert st.rejected == 1
+            assert st.queue_limit == 2
+            assert st.saturation == pytest.approx(1.0)
+            svc.flush()
+            for f in futures:
+                assert f.result(timeout=30.0).converged
+
+    def test_rejection_leaves_no_trace_in_counters(self):
+        with JacobiService(d=1, max_batch=100, max_delay=60.0,
+                           max_queue=1) as svc:
+            svc.submit(_mats(8, 1)[0])
+            with pytest.raises(QueueFull):
+                svc.submit(_mats(8, 1, seed=1)[0])
+            st = svc.stats()
+            assert st.submitted == 1
+            assert st.queue_depth + st.inflight == 1
+            svc.flush()
+
+    def test_admitted_matrices_stay_bit_identical(self):
+        """Admission decides *whether*, never *how*: every admitted
+        matrix under a saturated bounded service still matches its
+        sequential twin bit for bit."""
+        mats = _mats(8, 30, seed=3)
+        solved = []
+        with JacobiService(d=1, max_batch=2, max_delay=0.005,
+                           max_queue=4) as svc:
+            for A in mats:
+                try:
+                    solved.append((A, svc.submit(A)))
+                except QueueFull:
+                    pass
+        assert solved  # saturated or not, something got through
+        seq = ParallelOneSidedJacobi(get_ordering("degree4", 1))
+        for A, fut in solved:
+            r = fut.result(timeout=30.0)
+            s = seq.solve(A)
+            assert np.array_equal(s.eigenvalues, r.eigenvalues)
+            assert np.array_equal(s.eigenvectors, r.eigenvectors)
+            assert s.sweeps == r.sweeps
+
+
+class TestBlockPolicy:
+    def test_block_admits_once_capacity_frees(self):
+        """With a draining queue, block-policy submissions never
+        reject — each waits for the previous item to settle."""
+        with JacobiService(d=1, max_batch=1, max_delay=0.0,
+                           max_queue=1, admission="block",
+                           admission_timeout=30.0) as svc:
+            futures = [svc.submit(A) for A in _mats(8, 4)]
+            for f in futures:
+                assert f.result(timeout=30.0).converged
+            assert svc.stats().rejected == 0
+
+    def test_block_times_out_to_queue_full(self):
+        with JacobiService(d=1, max_batch=100, max_delay=60.0,
+                           max_queue=1, admission="block",
+                           admission_timeout=0.15) as svc:
+            svc.submit(_mats(8, 1)[0])
+            t0 = time.monotonic()
+            with pytest.raises(QueueFull):
+                svc.submit(_mats(8, 1, seed=1)[0])
+            assert time.monotonic() - t0 >= 0.1  # actually waited
+            assert svc.stats().rejected == 1
+            svc.flush()
+
+
+class TestShedPolicy:
+    def test_deadline_lapse_resolves_to_shed_error(self):
+        with JacobiService(d=1, max_batch=100, max_delay=60.0,
+                           default_deadline=0.05) as svc:
+            fut = svc.submit(_mats(8, 1)[0])
+            exc = fut.exception(timeout=30.0)
+            assert isinstance(exc, ShedError)
+            st = svc.stats()
+            assert st.shed == 1
+            assert st.completed == 0
+            assert st.queue_depth == 0
+
+    def test_per_request_deadline_overrides_default(self):
+        with JacobiService(d=1, max_batch=100, max_delay=60.0) as svc:
+            doomed = svc.submit(_mats(8, 1)[0], deadline=0.05)
+            safe = svc.submit(_mats(8, 1, seed=1)[0])  # no deadline
+            assert isinstance(doomed.exception(timeout=30.0), ShedError)
+            svc.flush()
+            assert safe.result(timeout=30.0).converged
+
+    def test_shedding_makes_room_at_capacity(self):
+        with JacobiService(d=1, max_batch=100, max_delay=60.0,
+                           max_queue=1, admission="shed",
+                           default_deadline=0.05) as svc:
+            doomed = svc.submit(_mats(8, 1)[0])
+            time.sleep(0.2)  # let the queued item expire
+            admitted = svc.submit(_mats(8, 1, seed=1)[0])
+            assert isinstance(doomed.exception(timeout=30.0), ShedError)
+            svc.flush()
+            assert admitted.result(timeout=30.0).converged
+            assert svc.stats().shed == 1
+
+    def test_shed_without_expiries_rejects_at_capacity(self):
+        with JacobiService(d=1, max_batch=100, max_delay=60.0,
+                           max_queue=1, admission="shed") as svc:
+            svc.submit(_mats(8, 1)[0])  # no deadline: never expires
+            with pytest.raises(QueueFull):
+                svc.submit(_mats(8, 1, seed=1)[0])
+            svc.flush()
+
+
+# ----------------------------------------------------------------------
+class TestStatsSplit:
+    def test_queue_depth_vs_inflight(self, monkeypatch):
+        """stats() must not hide dispatched-but-unsettled work:
+        ``queue_depth`` is batcher-queued, ``inflight`` is dispatched."""
+        import repro.service.api as api
+
+        real = api.solve_batch_remote
+        started, release = threading.Event(), threading.Event()
+
+        def slow(payload):
+            started.set()
+            assert release.wait(30.0)
+            return real(payload)
+
+        monkeypatch.setattr(api, "solve_batch_remote", slow)
+        with JacobiService(d=1, max_batch=1, max_delay=0.0) as svc:
+            fut = svc.submit(_mats(8, 1)[0])
+            assert started.wait(30.0)  # the flush is mid-solve
+            st = svc.stats()
+            assert (st.queue_depth, st.inflight) == (0, 1)
+            release.set()
+            assert fut.result(timeout=30.0).converged
+        st = svc.stats()
+        assert (st.queue_depth, st.inflight) == (0, 0)
+
+    def test_saturation_ratio(self):
+        with JacobiService(d=1, max_batch=100, max_delay=60.0,
+                           max_queue=4) as svc:
+            for A in _mats(8, 2):
+                svc.submit(A)
+            st = svc.stats()
+            assert st.saturation == pytest.approx(0.5)
+            svc.flush()
+        assert JacobiService(d=1).stats().saturation == 0.0
+
+    def test_cancelled_futures_are_not_completed(self):
+        """Regression: a caller-cancelled future must count as
+        ``cancelled``, not silently inflate ``completed``."""
+        with JacobiService(d=1, max_batch=100, max_delay=60.0) as svc:
+            doomed = svc.submit(_mats(8, 1)[0])
+            kept = svc.submit(_mats(8, 1, seed=1)[0])
+            assert doomed.cancel()
+            svc.flush()
+            assert kept.result(timeout=30.0).converged
+            st = svc.stats()
+        assert st.completed == 1
+        assert st.cancelled == 1
+        assert st.failed == 0
+
+    def test_failed_submit_leaks_no_counters(self, monkeypatch):
+        """Regression: counters moved *before* the batcher accepted the
+        item, so a batcher failure left a phantom in-flight item that
+        close() would wait on forever."""
+        svc = JacobiService(d=1, max_batch=100, max_delay=60.0)
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("batcher refused")
+
+        monkeypatch.setattr(svc._batcher, "submit", boom)
+        with pytest.raises(RuntimeError, match="batcher refused"):
+            svc.submit(_mats(8, 1)[0])
+        st = svc.stats()
+        assert st.submitted == 0
+        assert st.queue_depth + st.inflight == 0
+        closer = threading.Thread(target=svc.close)
+        closer.start()
+        closer.join(timeout=30.0)
+        assert not closer.is_alive()  # close() terminated, no phantom
+
+
+# ----------------------------------------------------------------------
+class TestOverloadSafeShutdown:
+    def test_close_sweeps_stranded_remote_futures(self):
+        """Regression: close() waited on ``_inflight`` with no timeout,
+        so a pool whose future never resolves hung it forever.  A
+        broken executor's stranded in-flight items must instead fail
+        with BrokenProcessPool."""
+
+        class HangingExecutor:
+            uses_processes = True
+            broken = False
+
+            def submit(self, fn, *args):
+                return Future()  # never resolves
+
+            def shutdown(self, wait=True):
+                pass
+
+        pool = HangingExecutor()
+        svc = JacobiService(d=1, max_batch=1, max_delay=0.0,
+                            workers=2, executor=pool)
+        fut = svc.submit(_mats(8, 1)[0])
+        # the flush is dispatched to the pool and now stranded
+        deadline = time.monotonic() + 30.0
+        while not svc._pending_remote and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert svc._pending_remote
+        pool.broken = True
+        closer = threading.Thread(target=svc.close)
+        closer.start()
+        closer.join(timeout=30.0)
+        assert not closer.is_alive()
+        assert isinstance(fut.exception(timeout=1.0), BrokenProcessPool)
+        assert svc.stats().failed == 1
+
+    def test_killed_worker_does_not_hang_close(self):
+        """End to end: SIGKILL every pool worker mid-flush; close()
+        must still terminate, resolving every future (result or
+        error), instead of hanging on the lost batch."""
+        import os
+        import signal
+
+        svc = JacobiService(d=1, max_batch=4, max_delay=0.005, workers=2)
+        futures = [svc.submit(A) for A in _mats(24, 12, seed=5)]
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            with svc._cond:
+                pending = bool(svc._pending_remote)
+            pool = svc._executor._pool
+            if pending and pool is not None:
+                break
+            time.sleep(0.005)
+        assert pool is not None
+        for pid in list(pool._processes):
+            os.kill(pid, signal.SIGKILL)
+        closer = threading.Thread(target=svc.close)
+        closer.start()
+        closer.join(timeout=120.0)
+        assert not closer.is_alive()
+        for f in futures:
+            assert f.done()
