@@ -20,6 +20,17 @@ from .appendix import (
     theorem3_ratio,
     verify_appendix,
 )
+from .events import (
+    TRACE_SCHEMA,
+    EventTimeline,
+    TraceEvent,
+    comm_records_from_timeline,
+    comm_trace_to_timeline,
+    request_spans,
+    stage_percentiles,
+    validate_lifecycles,
+    worker_utilisation,
+)
 from .figure2 import (
     Figure2Panel,
     Figure2Point,
@@ -36,7 +47,12 @@ from .svdbench import (
     parse_shapes,
     render_svd_bench,
 )
-from .timeline import render_link_timeline, render_phase_timelines
+from .timeline import (
+    render_gantt,
+    render_link_timeline,
+    render_phase_timelines,
+    render_worker_timeline,
+)
 from .table1 import (
     PAPER_TABLE1_ALPHA,
     Table1Row,
@@ -64,7 +80,12 @@ __all__ = [
     "compute_crossover_table", "render_crossover_table",
     "CalibrationRow", "sweeps_under_criterion", "compute_calibration",
     "render_calibration",
-    "render_link_timeline", "render_phase_timelines",
+    "render_gantt", "render_link_timeline", "render_phase_timelines",
+    "render_worker_timeline",
+    "TRACE_SCHEMA", "TraceEvent", "EventTimeline",
+    "comm_trace_to_timeline", "comm_records_from_timeline",
+    "validate_lifecycles", "request_spans", "stage_percentiles",
+    "worker_utilisation",
     "DEFAULT_SVD_SHAPES", "SvdBenchRow", "compute_svd_bench",
     "render_svd_bench", "parse_shapes",
 ]

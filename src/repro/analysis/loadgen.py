@@ -62,6 +62,7 @@ from ..errors import QueueFull, ShedError, SimulationError
 from ..jacobi.convergence import DEFAULT_TOL
 from ..jacobi.onesided import make_symmetric_test_matrix
 from ..service import JacobiService, TuningBounds
+from .events import EventTimeline
 from .report import render_table
 
 __all__ = [
@@ -75,12 +76,18 @@ __all__ = [
     "AdmissionSetting",
     "OVERLOAD_SETTINGS",
     "LoadResult",
+    "TRACE_BUNDLE_SCHEMA",
     "build_trace",
     "build_matrices",
     "replay",
+    "replay_traced",
     "compute_load_bench",
     "render_load_bench",
     "results_to_json",
+    "arrivals_from_timeline",
+    "outcomes_from_timeline",
+    "trace_bundle_to_json",
+    "replay_recorded",
 ]
 
 
@@ -97,12 +104,18 @@ class Arrival:
     n, m:
         Matrix shape: eigen matrices are ``(m, m)`` symmetric, SVD
         matrices are ``(n, m)`` tall/square.
+    deadline:
+        Per-request deadline in seconds handed to
+        :meth:`~repro.service.api.JacobiService.submit` (``None`` =
+        the service default) — carried so a trace-driven replay
+        reproduces recorded deadlines.
     """
 
     at: float
     kind: str
     n: int
     m: int
+    deadline: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -333,6 +346,10 @@ class LoadResult:
         to at most 64 evenly-spaced points — the unbounded baseline's
         grows monotonically under overload, the bounded settings' stay
         capped at ``max_queue``.
+    outcomes:
+        Per-arrival outcome in trace order (``"solved"`` /
+        ``"rejected"`` / ``"shed"`` / ``"failed"``) — what the
+        record->replay determinism tests compare.
     """
 
     scenario: str
@@ -352,6 +369,7 @@ class LoadResult:
     shed: int = 0
     peak_backlog: int = 0
     backlog: List[int] = field(default_factory=list)
+    outcomes: List[str] = field(default_factory=list)
 
 
 def build_trace(scenario: Scenario, items: Optional[int] = None,
@@ -417,7 +435,8 @@ def replay(arrivals: Sequence[Arrival], matrices: Sequence[np.ndarray],
            max_queue: int = 0, admission: str = "reject",
            default_deadline: Optional[float] = None,
            warmup_frac: float = 0.2, d: int = 2,
-           tol: float = DEFAULT_TOL, timeout: float = 120.0) -> LoadResult:
+           tol: float = DEFAULT_TOL, timeout: float = 120.0,
+           tracer: Optional[Any] = None) -> LoadResult:
     """Open-loop replay of one trace against one service configuration.
 
     Parameters
@@ -445,7 +464,8 @@ def replay(arrivals: Sequence[Arrival], matrices: Sequence[np.ndarray],
         trace regardless.
     default_deadline:
         Per-request deadline in seconds handed to the service
-        (``"shed"`` policy); ``None`` disables expiry.
+        (``"shed"`` policy); ``None`` disables expiry.  An arrival's
+        own ``deadline`` field wins over this.
     warmup_frac:
         Leading fraction of the trace excluded from the latency
         percentiles (steady-state measurement; throughput still covers
@@ -456,6 +476,12 @@ def replay(arrivals: Sequence[Arrival], matrices: Sequence[np.ndarray],
         Convergence tolerance.
     timeout:
         Seconds to wait for the replay's futures before giving up.
+    tracer:
+        Explicit tracer handed to the service (e.g. a shared
+        :class:`~repro.service.tracing.Tracer`, or
+        :data:`~repro.service.tracing.NULL_TRACER` to pin the
+        explicitly-disabled path); for a traced replay with the
+        timeline returned, use :func:`replay_traced` instead.
 
     Returns
     -------
@@ -464,6 +490,55 @@ def replay(arrivals: Sequence[Arrival], matrices: Sequence[np.ndarray],
         throughput, flush counters, per-item outcome counts, the
         sampled backlog trace and the tuning outcome.
     """
+    result, _ = _replay(
+        arrivals, matrices, scenario=scenario, label=label,
+        max_batch=max_batch, max_delay=max_delay, adaptive=adaptive,
+        tuning_bounds=tuning_bounds, tuning_window=tuning_window,
+        max_queue=max_queue, admission=admission,
+        default_deadline=default_deadline, warmup_frac=warmup_frac,
+        d=d, tol=tol, timeout=timeout, trace=False, tracer=tracer)
+    return result
+
+
+def replay_traced(arrivals: Sequence[Arrival],
+                  matrices: Sequence[np.ndarray], *, scenario: str,
+                  label: str, max_batch: int, max_delay: float,
+                  adaptive: bool = False,
+                  tuning_bounds: Optional[TuningBounds] = None,
+                  tuning_window: int = ADAPTIVE_WINDOW,
+                  max_queue: int = 0, admission: str = "reject",
+                  default_deadline: Optional[float] = None,
+                  warmup_frac: float = 0.2, d: int = 2,
+                  tol: float = DEFAULT_TOL, timeout: float = 120.0
+                  ) -> Tuple[LoadResult, EventTimeline]:
+    """:func:`replay` with per-request tracing on.
+
+    Same parameters as :func:`replay`; additionally returns the
+    service's exported :class:`~repro.analysis.events.EventTimeline`
+    (captured after the drain, so every lifecycle is complete).
+    """
+    result, timeline = _replay(
+        arrivals, matrices, scenario=scenario, label=label,
+        max_batch=max_batch, max_delay=max_delay, adaptive=adaptive,
+        tuning_bounds=tuning_bounds, tuning_window=tuning_window,
+        max_queue=max_queue, admission=admission,
+        default_deadline=default_deadline, warmup_frac=warmup_frac,
+        d=d, tol=tol, timeout=timeout, trace=True)
+    assert timeline is not None
+    return result, timeline
+
+
+def _replay(arrivals: Sequence[Arrival], matrices: Sequence[np.ndarray],
+            *, scenario: str, label: str, max_batch: int,
+            max_delay: float, adaptive: bool = False,
+            tuning_bounds: Optional[TuningBounds] = None,
+            tuning_window: int = ADAPTIVE_WINDOW,
+            max_queue: int = 0, admission: str = "reject",
+            default_deadline: Optional[float] = None,
+            warmup_frac: float = 0.2, d: int = 2,
+            tol: float = DEFAULT_TOL, timeout: float = 120.0,
+            trace: bool = False, tracer: Optional[Any] = None
+            ) -> Tuple[LoadResult, Optional[EventTimeline]]:
     if len(arrivals) != len(matrices):
         raise SimulationError(
             f"trace and matrices disagree: {len(arrivals)} arrivals, "
@@ -498,7 +573,8 @@ def replay(arrivals: Sequence[Arrival], matrices: Sequence[np.ndarray],
                        tuning_bounds=bounds,
                        tuning_window=tuning_window,
                        max_queue=max_queue, admission=admission,
-                       default_deadline=default_deadline) as svc:
+                       default_deadline=default_deadline,
+                       trace=trace, tracer=tracer) as svc:
         t0 = time.monotonic()
         for i, (a, A) in enumerate(zip(arrivals, matrices)):
             lag = t0 + a.at - time.monotonic()
@@ -507,8 +583,10 @@ def replay(arrivals: Sequence[Arrival], matrices: Sequence[np.ndarray],
             st = svc.stats()
             backlog.append(st.queue_depth + st.inflight)
             try:
-                fut = (svc.submit(A) if a.kind == "eigen"
-                       else svc.submit(A, kind="svd"))
+                fut = (svc.submit(A, deadline=a.deadline)
+                       if a.kind == "eigen"
+                       else svc.submit(A, kind="svd",
+                                       deadline=a.deadline))
             except QueueFull:
                 rejected += 1
                 _done()  # no future: the submission never existed
@@ -520,10 +598,23 @@ def replay(arrivals: Sequence[Arrival], matrices: Sequence[np.ndarray],
                 f"{remaining[0]} of {n} futures unresolved after "
                 f"{timeout:.0f}s")
         stats = svc.stats()
-    solved_idx = [i for i, f in enumerate(futures)
-                  if f is not None and f.exception() is None]
-    shed = sum(1 for f in futures
-               if f is not None and isinstance(f.exception(), ShedError))
+    # The timeline is read after close(): the dispatcher has drained,
+    # so every admitted request's lifecycle has reached its terminal
+    # event (a future resolves *before* its terminal event is emitted,
+    # so reading at all_marked could still miss trailing events).
+    timeline = svc.trace() if trace else None
+
+    def _outcome(f: Optional[Any]) -> str:
+        if f is None:
+            return "rejected"
+        exc = f.exception()
+        if exc is None:
+            return "solved"
+        return "shed" if isinstance(exc, ShedError) else "failed"
+
+    outcomes = [_outcome(f) for f in futures]
+    solved_idx = [i for i, o in enumerate(outcomes) if o == "solved"]
+    shed = outcomes.count("shed")
     skip = int(np.ceil(warmup_frac * n)) if n > 1 else 0
     sample = np.array([done_at[i] - (t0 + arrivals[i].at)
                        for i in solved_idx if i >= skip])
@@ -551,13 +642,43 @@ def replay(arrivals: Sequence[Arrival], matrices: Sequence[np.ndarray],
                 for ev in stats.tuning],
         solved=len(solved_idx), rejected=rejected, shed=shed,
         peak_backlog=max(backlog) if backlog else 0,
-        backlog=backlog[::step])
+        backlog=backlog[::step], outcomes=outcomes), timeline
+
+
+#: The replay keyword arguments a trace record's ``settings`` dict may
+#: carry — everything needed to re-run the replay from its own record
+#: (:func:`replay_recorded`); keys left unset fall back to the
+#: :func:`replay` defaults, which are the same both times.
+_SETTING_KEYS = ("max_batch", "max_delay", "adaptive", "tuning_window",
+                 "max_queue", "admission", "default_deadline",
+                 "warmup_frac", "d", "tol")
+
+
+def _run_setting(arrivals: Sequence[Arrival],
+                 matrices: Sequence[np.ndarray], *, scenario: str,
+                 label: str,
+                 trace_sink: Optional[List[Dict[str, Any]]] = None,
+                 **kwargs: Any) -> LoadResult:
+    """Run one replay; when a sink is given, run it traced and append
+    its trace record (scenario, label, settings, timeline)."""
+    result, timeline = _replay(arrivals, matrices, scenario=scenario,
+                               label=label,
+                               trace=trace_sink is not None, **kwargs)
+    if trace_sink is not None:
+        trace_sink.append({
+            "scenario": scenario, "label": label,
+            "settings": {k: kwargs[k] for k in _SETTING_KEYS
+                         if k in kwargs},
+            "timeline": timeline})
+    return result
 
 
 def compute_load_bench(scenario_names: Optional[Sequence[str]] = None,
                        items: Optional[int] = None,
                        seed: int = 0,
-                       warmup_frac: float = 0.2) -> List[LoadResult]:
+                       warmup_frac: float = 0.2,
+                       trace_sink: Optional[List[Dict[str, Any]]] = None,
+                       ) -> List[LoadResult]:
     """Replay the scenario grid against every setting.
 
     Parameters
@@ -571,6 +692,14 @@ def compute_load_bench(scenario_names: Optional[Sequence[str]] = None,
         Seed for both trace timing and matrix content.
     warmup_frac:
         Warm-up fraction excluded from the latency percentiles.
+    trace_sink:
+        When a list is given, every replay runs with per-request
+        tracing on and appends a trace record — a dict of
+        ``scenario`` / ``label`` / ``settings`` /
+        :class:`~repro.analysis.events.EventTimeline` — to it; this is
+        what ``repro-jacobi load-bench --trace-out`` serialises (see
+        :func:`trace_bundle_to_json`).  ``None`` (the default) traces
+        nothing.
 
     Returns
     -------
@@ -597,16 +726,18 @@ def compute_load_bench(scenario_names: Optional[Sequence[str]] = None,
         matrices = build_matrices(arrivals, seed=seed)
         if scenario.name == "overload":
             results.extend(_replay_overload(arrivals, matrices,
-                                            warmup_frac=warmup_frac))
+                                            warmup_frac=warmup_frac,
+                                            trace_sink=trace_sink))
             continue
         for setting in FIXED_SETTINGS:
-            results.append(replay(
+            results.append(_run_setting(
                 arrivals, matrices, scenario=scenario.name,
-                label=setting.label, max_batch=setting.max_batch,
+                label=setting.label, trace_sink=trace_sink,
+                max_batch=setting.max_batch,
                 max_delay=setting.max_delay, warmup_frac=warmup_frac))
-        results.append(replay(
+        results.append(_run_setting(
             arrivals, matrices, scenario=scenario.name,
-            label=ADAPTIVE_START.label,
+            label=ADAPTIVE_START.label, trace_sink=trace_sink,
             max_batch=ADAPTIVE_START.max_batch,
             max_delay=ADAPTIVE_START.max_delay, adaptive=True,
             warmup_frac=warmup_frac))
@@ -615,7 +746,9 @@ def compute_load_bench(scenario_names: Optional[Sequence[str]] = None,
 
 def _replay_overload(arrivals: Sequence[Arrival],
                      matrices: Sequence[np.ndarray],
-                     warmup_frac: float) -> List[LoadResult]:
+                     warmup_frac: float,
+                     trace_sink: Optional[List[Dict[str, Any]]] = None,
+                     ) -> List[LoadResult]:
     """The overload scenario's settings grid: an uncontended stretched
     twin (same bursts at 1/``OVERLOAD_STRETCH`` the rate, on half the
     trace — the latency floor every bounded setting is judged
@@ -623,17 +756,19 @@ def _replay_overload(arrivals: Sequence[Arrival],
     configuration on the full overload trace."""
     half = max(OVERLOAD_BURST, len(arrivals) // 2)
     stretched = [Arrival(at=a.at * OVERLOAD_STRETCH, kind=a.kind,
-                         n=a.n, m=a.m) for a in arrivals[:half]]
-    results = [replay(
+                         n=a.n, m=a.m, deadline=a.deadline)
+                 for a in arrivals[:half]]
+    results = [_run_setting(
         stretched, matrices[:half], scenario="overload",
-        label="uncontended", max_batch=OVERLOAD_BATCH,
-        max_delay=OVERLOAD_DELAY, warmup_frac=warmup_frac)]
+        label="uncontended", trace_sink=trace_sink,
+        max_batch=OVERLOAD_BATCH, max_delay=OVERLOAD_DELAY,
+        warmup_frac=warmup_frac)]
     for setting in OVERLOAD_SETTINGS:
-        results.append(replay(
+        results.append(_run_setting(
             arrivals, matrices, scenario="overload",
-            label=setting.label, max_batch=OVERLOAD_BATCH,
-            max_delay=OVERLOAD_DELAY, max_queue=setting.max_queue,
-            admission=setting.admission,
+            label=setting.label, trace_sink=trace_sink,
+            max_batch=OVERLOAD_BATCH, max_delay=OVERLOAD_DELAY,
+            max_queue=setting.max_queue, admission=setting.admission,
             default_deadline=setting.default_deadline,
             warmup_frac=warmup_frac))
     return results
@@ -693,3 +828,158 @@ def results_to_json(rows: Sequence[LoadResult], *, seed: int,
         "overload_settings": [asdict(s) for s in OVERLOAD_SETTINGS],
         "results": [asdict(r) for r in rows],
     }, indent=2)
+
+
+#: Schema tag of a serialised trace bundle (one record per traced
+#: replay) — what ``repro-jacobi load-bench --trace-out`` writes and
+#: ``--replay`` reads back.
+TRACE_BUNDLE_SCHEMA = "repro-trace-bundle/v1"
+
+
+def arrivals_from_timeline(timeline: EventTimeline) -> List[Arrival]:
+    """Reconstruct a replay's arrival trace from its event timeline.
+
+    Every submission — admitted or rejected — emits a ``submit`` event
+    carrying the traffic kind, the matrix shape and the raw deadline
+    argument, which is exactly an :class:`Arrival`; offsets are taken
+    relative to the first submission, so the reconstructed trace
+    replays with the recorded inter-arrival gaps.
+
+    Parameters
+    ----------
+    timeline:
+        A traced service run (see
+        :meth:`~repro.service.api.JacobiService.trace` or
+        :func:`replay_traced`).
+
+    Returns
+    -------
+    list of Arrival
+        In submission order, one per recorded request.
+    """
+    subs = [ev for ev in timeline.events if ev.stage == "submit"]
+    if not subs:
+        raise SimulationError(
+            "timeline holds no submit events; nothing to replay")
+    base = subs[0].t
+    out: List[Arrival] = []
+    for ev in subs:
+        if "n" not in ev.meta or "m" not in ev.meta:
+            raise SimulationError(
+                f"submit event for request {ev.request} lacks the "
+                f"matrix shape (meta keys {sorted(ev.meta)})")
+        out.append(Arrival(at=ev.t - base, kind=ev.kind or "eigen",
+                           n=int(ev.meta["n"]), m=int(ev.meta["m"]),
+                           deadline=ev.meta.get("deadline")))
+    return out
+
+
+#: Terminal lifecycle stage -> per-arrival outcome word (the
+#: vocabulary of :attr:`LoadResult.outcomes`).
+_TERMINAL_OUTCOME = {"resolved": "solved", "rejected": "rejected",
+                     "shed": "shed", "failed": "failed"}
+
+
+def outcomes_from_timeline(timeline: EventTimeline) -> List[str]:
+    """Per-request outcomes of a traced run, in submission order.
+
+    Parameters
+    ----------
+    timeline:
+        A traced service run.
+
+    Returns
+    -------
+    list of str
+        ``"solved"`` / ``"rejected"`` / ``"shed"`` / ``"failed"`` per
+        request — directly comparable to
+        :attr:`LoadResult.outcomes`, which is how the record->replay
+        determinism tests check equivalence.
+    """
+    outcome: Dict[int, str] = {}
+    for ev in timeline.events:
+        if ev.request is not None and ev.stage in _TERMINAL_OUTCOME:
+            outcome[ev.request] = _TERMINAL_OUTCOME[ev.stage]
+    return [outcome[req] for req in sorted(outcome)]
+
+
+def trace_bundle_to_json(records: Sequence[Dict[str, Any]], *,
+                         seed: int, warmup_frac: float) -> str:
+    """Serialise a traced load-bench run for persistence.
+
+    Parameters
+    ----------
+    records:
+        The trace records collected through
+        :func:`compute_load_bench`'s ``trace_sink``.
+    seed, warmup_frac:
+        The run parameters — the seed pins the matrices, so a replay
+        of the bundle regenerates them identically.
+
+    Returns
+    -------
+    str
+        Pretty-printed JSON under :data:`TRACE_BUNDLE_SCHEMA` (the
+        ``--trace-out`` artifact).
+    """
+    return json.dumps({
+        "schema": TRACE_BUNDLE_SCHEMA,
+        "seed": seed,
+        "warmup_frac": warmup_frac,
+        "traces": [{
+            "scenario": r["scenario"],
+            "label": r["label"],
+            "settings": r["settings"],
+            "timeline": (r["timeline"].to_dict()
+                         if isinstance(r["timeline"], EventTimeline)
+                         else r["timeline"]),
+        } for r in records],
+    }, indent=2)
+
+
+def replay_recorded(bundle: Dict[str, Any], trace: bool = False
+                    ) -> List[Tuple[Dict[str, Any], LoadResult,
+                                    Optional[EventTimeline]]]:
+    """Re-run every traced replay of a recorded bundle.
+
+    Reconstructs each record's arrival trace from its timeline
+    (:func:`arrivals_from_timeline`), regenerates the matrices from
+    the bundle's seed (matrix content depends only on ``(seed, index,
+    shape)``, so the replay solves the *same* matrices the recording
+    did) and replays it against the recorded settings.
+
+    Parameters
+    ----------
+    bundle:
+        A parsed :data:`TRACE_BUNDLE_SCHEMA` document (see
+        :func:`trace_bundle_to_json`).
+    trace:
+        Trace the replays too — a re-recorded bundle of a replayed
+        bundle must reproduce the per-request outcome sequences, which
+        is the record->replay equivalence the tests pin.
+
+    Returns
+    -------
+    list of (record, LoadResult, EventTimeline or None)
+        One entry per bundle record, in bundle order.
+    """
+    if bundle.get("schema") != TRACE_BUNDLE_SCHEMA:
+        raise SimulationError(
+            f"not a trace bundle: schema "
+            f"{bundle.get('schema')!r} != {TRACE_BUNDLE_SCHEMA!r}")
+    seed = int(bundle["seed"])
+    out: List[Tuple[Dict[str, Any], LoadResult,
+                    Optional[EventTimeline]]] = []
+    for record in bundle["traces"]:
+        timeline = record["timeline"]
+        if not isinstance(timeline, EventTimeline):
+            timeline = EventTimeline.from_dict(timeline)
+        arrivals = arrivals_from_timeline(timeline)
+        matrices = build_matrices(arrivals, seed=seed)
+        settings = {k: v for k, v in record["settings"].items()
+                    if k in _SETTING_KEYS}
+        result, replayed = _replay(
+            arrivals, matrices, scenario=record["scenario"],
+            label=record["label"], trace=trace, **settings)
+        out.append((record, result, replayed))
+    return out

@@ -1,30 +1,79 @@
-"""Link-usage timelines: visualise what multi-port exploitation means.
+"""ASCII Gantt timelines: simulated link usage and measured worker usage.
 
-Renders an ASCII Gantt of which hypercube links a node drives at every
-stage of a pipelined exchange phase — one row per link, one column per
-stage, digits giving the number of packets combined on that link in that
-stage.  The BR ordering's timeline shows the bottleneck row (link 0 busy
-in every window) that caps its speed-up at 2x; the degree-4 timeline
-shows four staggered rows; the permuted-BR timeline shows the balanced
-spread that deep pipelining exploits.
+Renders what multi-port exploitation means, twice over:
 
-Used by ``repro-jacobi timeline`` and the documentation examples.
+* :func:`render_link_timeline` — which hypercube links a node drives at
+  every stage of a pipelined exchange phase — one row per link, one
+  column per stage, digits giving the number of packets combined on
+  that link in that stage.  The BR ordering's timeline shows the
+  bottleneck row (link 0 busy in every window) that caps its speed-up
+  at 2x; the degree-4 timeline shows four staggered rows; the
+  permuted-BR timeline shows the balanced spread that deep pipelining
+  exploits.
+* :func:`render_worker_timeline` — which service workers are busy over
+  a traced run (:meth:`~repro.service.api.JacobiService.trace`) — one
+  row per worker process, one column per time slice, digits giving the
+  batches being solved there.  The same visual grammar as the link
+  chart, applied to the measured system: an idle row is wasted
+  capacity exactly like an idle link.
+
+Both charts share one renderer, :func:`render_gantt`.  Used by
+``repro-jacobi timeline``, ``repro-jacobi trace-report`` and the
+documentation examples.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..ccube.model import CCCubeAlgorithm
 from ..ccube.pipelining import PipelinedSchedule
 from ..errors import PipeliningError
+from .events import EventTimeline
 
-__all__ = ["render_link_timeline", "render_phase_timelines"]
+__all__ = ["render_gantt", "render_link_timeline",
+           "render_phase_timelines", "render_worker_timeline"]
+
+
+def render_gantt(rows: Sequence[Tuple[str, str]], axis: str = "",
+                 title: str = "") -> str:
+    """Shared ASCII Gantt renderer: labelled rows of cells over an axis.
+
+    Parameters
+    ----------
+    rows:
+        ``(label, cells)`` pairs, one chart row each, top to bottom —
+        every cell is one character (``"."`` idle, a digit for
+        occupancy, ``"+"`` for 10 or more).
+    axis:
+        Legend line printed under the axis rule (what the columns
+        mean).
+    title:
+        Optional heading line.
+
+    Returns
+    -------
+    str
+        The chart: ``label |cells`` rows, a ``+----`` rule sized to the
+        widest row, and the axis legend.
+    """
+    labelw = max((len(label) for label, _ in rows), default=0)
+    n = max((len(cells) for _, cells in rows), default=0)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, cells in rows:
+        lines.append(f"{label:<{labelw}}|{cells}")
+    lines.append(" " * labelw + "+" + "-" * n)
+    if axis:
+        lines.append(" " * (labelw + 1) + axis)
+    return "\n".join(lines)
 
 
 def render_link_timeline(links: Sequence[int], Q: int,
                          max_stages: Optional[int] = 72,
-                         title: str = "") -> str:
+                         title: str = "",
+                         width: Optional[int] = None) -> str:
     """ASCII Gantt of link usage per pipelined stage.
 
     Parameters
@@ -36,28 +85,33 @@ def render_link_timeline(links: Sequence[int], Q: int,
     max_stages:
         Truncate the chart after this many stages (None = all); the
         kernel is periodic so a prefix shows the structure.
+    title:
+        Optional heading line.
+    width:
+        Chart-width override in columns; when given it wins over
+        ``max_stages``.  A truncated chart says exactly how many
+        stages were hidden.
     """
     alg = CCCubeAlgorithm(tuple(links), message_elems=1.0)
     sched = PipelinedSchedule(alg, Q)
     n_links = alg.dimension_span
-    stages = sched.num_stages if max_stages is None \
-        else min(sched.num_stages, max_stages)
-    rows: List[List[str]] = [["."] * stages for _ in range(n_links)]
+    limit = max_stages if width is None else int(width)
+    stages = sched.num_stages if limit is None \
+        else min(sched.num_stages, max(1, int(limit)))
+    cells: List[List[str]] = [["."] * stages for _ in range(n_links)]
     for s in range(stages):
         window = sched.stage_links(s)
         for link in set(window):
             count = window.count(link)
-            rows[link][s] = str(count) if count < 10 else "+"
-    lines: List[str] = []
-    if title:
-        lines.append(title)
-    for link in range(n_links - 1, -1, -1):
-        lines.append(f"link {link} |" + "".join(rows[link]))
-    lines.append("       +" + "-" * stages)
-    lines.append(f"        stages 0..{stages - 1}"
-                 + (" (truncated)" if stages < sched.num_stages else "")
-                 + f"   [{sched.describe()}]")
-    return "\n".join(lines)
+            cells[link][s] = str(count) if count < 10 else "+"
+    rows = [(f"link {link} ", "".join(cells[link]))
+            for link in range(n_links - 1, -1, -1)]
+    hidden = sched.num_stages - stages
+    axis = (f"stages 0..{stages - 1}"
+            + (f" (truncated; {hidden} more "
+               f"stage{'s' if hidden != 1 else ''})" if hidden else "")
+            + f"   [{sched.describe()}]")
+    return render_gantt(rows, axis=axis, title=title)
 
 
 def render_phase_timelines(e: int, Q: int,
@@ -77,3 +131,59 @@ def render_phase_timelines(e: int, Q: int,
             title=f"-- {name}, exchange phase e={e}, Q={Q} "
                   f"(cell = packets on that link in that stage) --"))
     return "\n\n".join(blocks)
+
+
+def render_worker_timeline(timeline: EventTimeline, width: int = 64,
+                           title: str = "") -> str:
+    """ASCII Gantt of worker busy time over a traced service run.
+
+    Reconstructs per-worker busy intervals from the trace's ``solved``
+    events (each carries its batch's worker attribution and measured
+    solve seconds) and renders them with the same grammar as the
+    simulator's link chart: one row per worker, one column per time
+    slice, digits counting the batches being solved there.
+
+    Parameters
+    ----------
+    timeline:
+        A service :class:`~repro.analysis.events.EventTimeline` (see
+        :meth:`~repro.service.api.JacobiService.trace`).
+    width:
+        Chart width in columns (>= 1); the trace's duration is divided
+        evenly across them.
+    title:
+        Optional heading line.
+
+    Returns
+    -------
+    str
+        The chart, or a one-line note when the trace holds no solved
+        batches.
+    """
+    width = max(1, int(width))
+    spans: Dict[str, Dict[Optional[int], Tuple[float, float]]] = {}
+    for ev in timeline.events:
+        if ev.stage != "solved" or ev.worker is None:
+            continue
+        elapsed = float(ev.meta.get("elapsed") or 0.0)
+        spans.setdefault(ev.worker, {}).setdefault(
+            ev.batch, (ev.t - elapsed, ev.t))
+    if not spans:
+        return "(no solved batches in trace)"
+    t0 = timeline.events[0].t
+    t1 = timeline.events[-1].t
+    cell = max(t1 - t0, 1e-12) / width
+    rows: List[Tuple[str, str]] = []
+    for worker in sorted(spans):
+        counts = [0] * width
+        for start, end in spans[worker].values():
+            lo = int((max(start, t0) - t0) / cell)
+            hi = int((min(end, t1) - t0) / cell)
+            for col in range(max(0, lo), min(width - 1, hi) + 1):
+                counts[col] += 1
+        cells = "".join("." if c == 0 else (str(c) if c < 10 else "+")
+                        for c in counts)
+        rows.append((f"worker {worker} ", cells))
+    axis = (f"0..{t1 - t0:.3f}s ({cell * 1e3:.2f} ms/column; cell = "
+            f"batches being solved)")
+    return render_gantt(rows, axis=axis, title=title)

@@ -9,7 +9,9 @@ Usage (after ``pip install -e .``)::
     repro-jacobi svd-bench [--shapes 32x8,64x16] [--matrices N]
                            [--engine E] [--workers W]
     repro-jacobi load-bench [--scenarios trickle,bursty] [--items N]
-                            [--json PATH]
+                            [--json PATH] [--trace-out PATH]
+                            [--replay PATH]
+    repro-jacobi trace-report PATH [--width N]
     repro-jacobi figure2 [--dims 5..15] [--m-exponents 18,23,32]
     repro-jacobi appendix
     repro-jacobi sequences [--max-e E]
@@ -96,17 +98,48 @@ def _cmd_svd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_load_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis.events import EventTimeline
     from .analysis.loadgen import (
         compute_load_bench,
+        outcomes_from_timeline,
         render_load_bench,
+        replay_recorded,
         results_to_json,
+        trace_bundle_to_json,
     )
 
+    if args.replay is not None and args.trace_out is not None:
+        print("--replay and --trace-out are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if args.replay is not None:
+        with open(args.replay, "r", encoding="utf-8") as fh:
+            bundle = json.load(fh)
+        replayed = replay_recorded(bundle, trace=True)
+        print(render_load_bench([res for _, res, _ in replayed]))
+        print()
+        matches = 0
+        for record, res, _tl in replayed:
+            recorded = outcomes_from_timeline(
+                EventTimeline.from_dict(record["timeline"]))
+            ok = recorded == res.outcomes
+            matches += ok
+            print(f"  {record['scenario']}/{record['label']}: recorded "
+                  f"outcomes {'match' if ok else 'DIVERGE'} "
+                  f"({len(res.outcomes)} requests)")
+        print(f"replayed {len(replayed)} recorded runs from "
+              f"{args.replay}; {matches}/{len(replayed)} outcome "
+              f"sequences match")
+        return 0
     scenarios = (None if args.scenarios is None
                  else [s.strip() for s in args.scenarios.split(",")
                        if s.strip()])
+    sink = [] if args.trace_out is not None else None
     rows = compute_load_bench(scenario_names=scenarios, items=args.items,
-                              seed=args.seed, warmup_frac=args.warmup)
+                              seed=args.seed, warmup_frac=args.warmup,
+                              trace_sink=sink)
     print(render_load_bench(rows))
     print(f"\n(seed: {args.seed}, warm-up excluded from percentiles: "
           f"{args.warmup:.0%}; latency is scheduled-arrival -> "
@@ -117,6 +150,65 @@ def _cmd_load_bench(args: argparse.Namespace) -> int:
         with open(args.json, "w", encoding="utf-8") as fh:
             fh.write(report + "\n")
         print(f"report written to {args.json}")
+    if sink is not None:
+        text = trace_bundle_to_json(sink, seed=args.seed,
+                                    warmup_frac=args.warmup)
+        with open(args.trace_out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"trace bundle written to {args.trace_out} "
+              f"({len(sink)} traced runs)")
+    return 0
+
+
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis.events import (
+        EventTimeline,
+        stage_percentiles,
+        validate_lifecycles,
+        worker_utilisation,
+    )
+    from .analysis.loadgen import TRACE_BUNDLE_SCHEMA
+    from .analysis.report import render_table
+    from .analysis.timeline import render_worker_timeline
+
+    with open(args.path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("schema") == TRACE_BUNDLE_SCHEMA:
+        entries = [(f"{t['scenario']} / {t['label']}",
+                    EventTimeline.from_dict(t["timeline"]))
+                   for t in doc["traces"]]
+    else:
+        entries = [(str(doc.get("source", "trace")),
+                    EventTimeline.from_dict(doc))]
+    for name, timeline in entries:
+        spans = stage_percentiles(timeline)
+        body = [[span, int(s["count"]), f"{s['mean'] * 1e3:,.2f}",
+                 f"{s['p50'] * 1e3:,.2f}", f"{s['p99'] * 1e3:,.2f}"]
+                for span, s in spans.items()]
+        print(render_table(
+            ["stage", "n", "mean ms", "p50 ms", "p99 ms"], body,
+            title=f"-- {name}: per-request latency by stage --"))
+        util = worker_utilisation(timeline)
+        if util:
+            ubody = [[w, int(u["batches"]), int(u["items"]),
+                      f"{u['busy'] * 1e3:,.1f}",
+                      f"{u['utilisation']:.0%}"]
+                     for w, u in sorted(util.items())]
+            print()
+            print(render_table(
+                ["worker", "batches", "items", "busy ms", "util"],
+                ubody, title="per-worker utilisation"))
+        print()
+        print(render_worker_timeline(timeline, width=args.width))
+        requests = {ev.request for ev in timeline.events
+                    if ev.request is not None}
+        problems = validate_lifecycles(timeline)
+        print(f"requests: {len(requests)}; events: "
+              f"{len(timeline.events)}; incomplete lifecycles: "
+              f"{len(problems)}")
+        print()
     return 0
 
 
@@ -298,7 +390,28 @@ def build_parser() -> argparse.ArgumentParser:
                          "untuned)")
     lb.add_argument("--json", default=None, metavar="PATH",
                     help="also write the machine-readable report here")
+    lb.add_argument("--trace-out", default=None, metavar="PATH",
+                    help="run every replay with per-request tracing on "
+                         "and write the trace bundle (event timelines "
+                         "+ settings) here")
+    lb.add_argument("--replay", default=None, metavar="PATH",
+                    help="instead of generating scenarios, reconstruct "
+                         "the recorded arrivals of this trace bundle, "
+                         "replay them against the recorded settings "
+                         "and report whether the per-request outcomes "
+                         "still match")
     lb.set_defaults(func=_cmd_load_bench)
+
+    tr = sub.add_parser("trace-report",
+                        help="analyse a recorded trace: per-stage "
+                             "latency percentiles, worker utilisation "
+                             "and a worker-usage Gantt")
+    tr.add_argument("path",
+                    help="trace JSON: a load-bench --trace-out bundle "
+                         "or a single exported timeline")
+    tr.add_argument("--width", type=int, default=64,
+                    help="Gantt chart width in columns")
+    tr.set_defaults(func=_cmd_trace_report)
 
     f2 = sub.add_parser("figure2", help="relative communication cost curves")
     f2.add_argument("--dims", default="5..15",

@@ -22,6 +22,11 @@ usable alone:
   items, enforced at submit time under one of three overload policies
   (synchronous rejection, blocking-with-timeout admission, or
   deadline-based shedding).
+* :mod:`repro.service.tracing` — :class:`Tracer`, the bounded,
+  lock-safe per-request event recorder the other pieces emit lifecycle
+  events into when the service is built with ``trace=True``;
+  :meth:`JacobiService.trace` exports the recorded
+  :class:`~repro.analysis.events.EventTimeline`.
 * :mod:`repro.service.api` — :class:`JacobiService`, the facade serving
   two traffic classes: ``submit(A) -> Future[SolveResult]`` for
   symmetric eigenproblems and ``submit(A, kind="svd") ->
@@ -48,6 +53,13 @@ from .adaptive import (
 from .admission import ADMISSION_POLICIES, AdmissionDecision, AdmissionGate
 from .api import KINDS, JacobiService, ServiceStats, SolveResult, SvdResult
 from .batcher import FlushEvent, MicroBatcher
+from .tracing import (
+    DEFAULT_TRACE_CAPACITY,
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    resolve_tracer,
+)
 from .pool import (
     ExecutorStats,
     ShardTask,
@@ -83,6 +95,11 @@ __all__ = [
     "Observation",
     "TuningBounds",
     "TuningEvent",
+    "DEFAULT_TRACE_CAPACITY",
+    "NULL_TRACER",
+    "NullTracer",
+    "Tracer",
+    "resolve_tracer",
     "ShardTask",
     "SvdShardTask",
     "ShardedExecutor",

@@ -39,6 +39,7 @@ import time
 from collections import deque
 from dataclasses import dataclass
 from typing import (
+    Any,
     Callable,
     Deque,
     Dict,
@@ -50,6 +51,7 @@ from typing import (
 
 from ..errors import SimulationError
 from .batcher import FlushEvent
+from .tracing import resolve_tracer
 
 __all__ = [
     "TuningBounds",
@@ -289,6 +291,11 @@ class AdaptiveController:
     clock:
         Monotonic time source stamped onto tuning events (injectable
         for tests).
+    tracer:
+        Optional :class:`~repro.service.tracing.Tracer`; when enabled,
+        every applied retune additionally emits a controller-level
+        ``"retuned"`` event (the before/after limits and the policy's
+        reason).  ``None`` or a disabled tracer costs nothing.
 
     The controller never touches a batcher itself: :meth:`observe`
     returns the applied :class:`TuningEvent` (or ``None``) and the
@@ -302,7 +309,8 @@ class AdaptiveController:
                  policy: Optional[TuningPolicy] = None,
                  window: int = 8,
                  trace_limit: int = 256,
-                 clock: Callable[[], float] = time.monotonic) -> None:
+                 clock: Callable[[], float] = time.monotonic,
+                 tracer: Optional[Any] = None) -> None:
         self.bounds = bounds if bounds is not None else TuningBounds()
         self.policy: TuningPolicy = (policy if policy is not None
                                      else HysteresisPolicy())
@@ -311,6 +319,7 @@ class AdaptiveController:
             raise SimulationError(
                 f"window must be >= 1, got {window}")
         self._clock = clock
+        self._tracer = resolve_tracer(tracer)
         self._windows: Dict[Hashable, List[Observation]] = {}
         self._limits: Dict[Hashable, Tuple[int, float]] = {}
         self._shed_pending: Dict[Hashable, int] = {}
@@ -398,4 +407,10 @@ class AdaptiveController:
             batch_from=batch, batch_to=new_batch,
             delay_from=delay, delay_to=new_delay, reason=decision[2])
         self._trace.append(tuning)
+        if self._tracer is not None:
+            self._tracer.emit(
+                "retuned", key=key,
+                meta={"batch": [batch, new_batch],
+                      "delay": [delay, new_delay],
+                      "reason": decision[2]})
         return tuning

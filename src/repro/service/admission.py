@@ -43,9 +43,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 from ..errors import SimulationError
+from .tracing import resolve_tracer
 
 __all__ = ["ADMISSION_POLICIES", "AdmissionDecision", "AdmissionGate"]
 
@@ -97,12 +98,20 @@ class AdmissionGate:
         items only expire when the caller passed a deadline.
     clock:
         Monotonic time source (injectable for tests).
+    tracer:
+        Optional :class:`~repro.service.tracing.Tracer`; when enabled,
+        every non-admit verdict emits a gate-level ``"overload"``
+        event (the occupancy, bound, policy and action taken), so a
+        trace shows *when* the service was saturated, not only which
+        requests paid for it.  ``None`` or a disabled tracer costs
+        nothing.
     """
 
     def __init__(self, max_queue: int = 0, policy: str = "reject",
                  block_timeout: float = 1.0,
                  default_deadline: Optional[float] = None,
-                 clock: Callable[[], float] = time.monotonic) -> None:
+                 clock: Callable[[], float] = time.monotonic,
+                 tracer: Optional[Any] = None) -> None:
         self.max_queue = int(max_queue)
         if self.max_queue < 0:
             raise SimulationError(
@@ -123,6 +132,7 @@ class AdmissionGate:
             raise SimulationError(
                 f"default_deadline must be > 0, got {default_deadline}")
         self._clock = clock
+        self._tracer = resolve_tracer(tracer)
 
     @property
     def bounded(self) -> bool:
@@ -150,6 +160,11 @@ class AdmissionGate:
         """
         if not self.bounded or used < self.max_queue:
             return AdmissionDecision("admit")
+        if self._tracer is not None:
+            self._tracer.emit("overload",
+                              meta={"used": used,
+                                    "max_queue": self.max_queue,
+                                    "policy": self.policy})
         if self.policy == "block":
             now = self._clock() if now is None else now
             return AdmissionDecision("block",

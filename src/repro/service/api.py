@@ -45,6 +45,16 @@ queued item whose per-request ``deadline`` lapses resolves to
 runs, never *how*: every admitted matrix stays bit-identical to its
 sequential twin.
 
+Built with ``trace=True`` (or an explicit
+:class:`~repro.service.tracing.Tracer`), the service records one typed
+event per lifecycle edge of every request — ``submit ->
+admitted/rejected -> enqueued -> expired/shed | flushed -> dispatched
+-> solved -> merged -> resolved/failed`` — and :meth:`JacobiService.trace`
+exports them as an :class:`~repro.analysis.events.EventTimeline`
+(JSON-serialisable, analysable with the same toolchain as the
+simulator's communication traces).  Tracing off (the default) costs
+nothing: the instrumented paths reduce to one ``is not None`` check.
+
 Example
 -------
 >>> import numpy as np
@@ -67,10 +77,11 @@ import time
 from concurrent.futures import Future, InvalidStateError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..analysis.events import EventTimeline
 from ..errors import QueueFull, ShedError, SimulationError
 from ..jacobi.convergence import DEFAULT_TOL
 from ..jacobi.svd import SvdResult
@@ -79,6 +90,7 @@ from .adaptive import AdaptiveController, TuningBounds, TuningEvent
 from .admission import AdmissionDecision, AdmissionGate
 from .batcher import FLUSH_CAUSES, FlushEvent, MicroBatcher
 from .pool import ShardedExecutor, solve_batch_remote, solve_svd_batch_remote
+from .tracing import DEFAULT_TRACE_CAPACITY, Tracer, resolve_tracer
 
 __all__ = ["KINDS", "SolveResult", "SvdResult", "ServiceStats",
            "JacobiService"]
@@ -119,8 +131,13 @@ class ServiceStats:
     """Queue/throughput counters of a :class:`JacobiService`.
 
     ``submitted`` / ``completed`` / ``failed`` / ``cancelled`` are
-    lifetime item counters (``cancelled`` counts futures the *caller*
-    cancelled before their result landed — they are not throughput);
+    lifetime item counters — ``submitted`` counts every submission
+    that passed validation, *including* ones the admission policy then
+    rejected, so the ledger identity ``submitted == completed + failed
+    + cancelled + rejected + shed + inflight + queue_depth`` (see
+    :attr:`accounted`) holds at every instant; ``cancelled`` counts
+    futures the *caller* cancelled before their result landed — they
+    are not throughput;
     ``queue_depth`` is the items queued in the batcher awaiting a
     flush, and ``inflight`` the dispatched-but-unsettled items (their
     batch is being solved but the futures have not resolved) — an
@@ -186,11 +203,24 @@ class ServiceStats:
     tuning: Tuple[TuningEvent, ...]
     solve_latency_by_kind: Dict[str, float]
 
+    @property
+    def accounted(self) -> int:
+        """Every submission's current ledger entry summed — completed,
+        failed, cancelled, rejected, shed, in-flight or still queued.
+        Always equals :attr:`submitted` (the self-consistency
+        regression tests pin this at every point of an overload
+        run)."""
+        return (self.completed + self.failed + self.cancelled
+                + self.rejected + self.shed + self.inflight
+                + self.queue_depth)
+
 
 @dataclass
 class _Item:
     matrix: np.ndarray
     future: "Future[SolveResult]"
+    req: int = -1
+    kind: str = "eigen"
 
 
 class JacobiService:
@@ -263,6 +293,23 @@ class JacobiService:
         Optionally share a pre-built
         :class:`~repro.service.pool.ShardedExecutor`; it is then not
         shut down by :meth:`close`.
+    clock:
+        Monotonic time source (injectable for tests), shared by the
+        batcher, the admission gate, the adaptive controller and the
+        tracer — under a fake clock every traced timestamp is exactly
+        pinnable.
+    trace:
+        Record one event per lifecycle edge of every request (see
+        :meth:`trace`).  ``False`` (default) keeps the zero-overhead
+        untraced paths.
+    tracer:
+        Share an explicit :class:`~repro.service.tracing.Tracer`
+        instead of letting ``trace=True`` build one (pass
+        :data:`~repro.service.tracing.NULL_TRACER` to force tracing
+        off).  Takes precedence over ``trace``.
+    trace_capacity:
+        Ring-buffer size in events of the tracer ``trace=True`` builds
+        (oldest events drop first; ignored when ``tracer`` is given).
 
     The service is a context manager; :meth:`close` drains the queue
     (every submitted future resolves) before stopping the dispatcher.
@@ -279,7 +326,11 @@ class JacobiService:
                  adaptive: bool = False,
                  tuning_bounds: Optional[TuningBounds] = None,
                  tuning_policy: Optional[Any] = None,
-                 tuning_window: int = 8) -> None:
+                 tuning_window: int = 8,
+                 clock: Callable[[], float] = time.monotonic,
+                 trace: bool = False,
+                 tracer: Optional[Any] = None,
+                 trace_capacity: int = DEFAULT_TRACE_CAPACITY) -> None:
         self.d = int(d)
         self.ordering = str(ordering)
         get_ordering(self.ordering, self.d)  # validate eagerly
@@ -288,15 +339,23 @@ class JacobiService:
         self.compute_eigenvectors = bool(compute_eigenvectors)
         self.workers = int(workers)
         self.adaptive = bool(adaptive)
-        self._clock = time.monotonic
+        self._clock = clock
+        if tracer is not None:
+            self._tracer: Optional[Tracer] = resolve_tracer(tracer)
+        elif trace:
+            self._tracer = Tracer(clock=clock, capacity=trace_capacity)
+        else:
+            self._tracer = None
         self._cond = threading.Condition()
         self._gate = AdmissionGate(max_queue=max_queue, policy=admission,
                                    block_timeout=admission_timeout,
                                    default_deadline=default_deadline,
-                                   clock=self._clock)
+                                   clock=self._clock,
+                                   tracer=self._tracer)
         self._batcher = MicroBatcher(max_batch=max_batch,
                                      max_delay=max_delay,
-                                     clock=self._clock)
+                                     clock=self._clock,
+                                     tracer=self._tracer)
         if self.adaptive:
             bounds = tuning_bounds if tuning_bounds is not None else \
                 TuningBounds(min_batch=1,
@@ -306,7 +365,8 @@ class JacobiService:
             self._controller: Optional[AdaptiveController] = \
                 AdaptiveController(bounds=bounds, policy=tuning_policy,
                                    window=tuning_window,
-                                   clock=self._clock)
+                                   clock=self._clock,
+                                   tracer=self._tracer)
         else:
             self._controller = None
         self._solve_seconds = {kind: 0.0 for kind in KINDS}
@@ -334,6 +394,7 @@ class JacobiService:
         self._submitted_by_kind = {kind: 0 for kind in KINDS}
         self._batched_items = 0
         self._first_submit: Optional[float] = None
+        self._next_request = 0
 
     # ------------------------------------------------------------------
     def _validate(self, A: np.ndarray, d: int) -> np.ndarray:
@@ -443,6 +504,16 @@ class JacobiService:
             with self._cond:
                 if self._closed:
                     raise SimulationError("service is closed")
+                req = self._next_request
+                self._next_request += 1
+                if self._tracer is not None:
+                    # n/m record the arrival's shape so a trace-driven
+                    # replay can regenerate an equivalent workload.
+                    self._tracer.emit("submit", request=req, kind=kind,
+                                      key=key,
+                                      meta={"deadline": deadline,
+                                            "n": int(A.shape[0]),
+                                            "m": int(A.shape[1])})
                 decision = self._gate.decide(self._inflight)
                 if decision.action == "shed":
                     # At capacity under the shed policy: drop expired
@@ -464,22 +535,45 @@ class JacobiService:
                         "admit" if self._inflight < self._gate.max_queue
                         else "reject")
                 if decision.action == "reject":
+                    # A rejected submission is still a submission: the
+                    # ledger identity (submitted == accounted, see
+                    # ServiceStats) needs both sides to move together.
+                    if self._first_submit is None:
+                        self._first_submit = self._clock()
+                    self._submitted += 1
+                    self._submitted_by_kind[kind] += 1
                     self._rejected += 1
+                    if self._tracer is not None:
+                        self._tracer.emit(
+                            "rejected", request=req, kind=kind, key=key,
+                            meta={"used": self._inflight,
+                                  "max_queue": self._gate.max_queue,
+                                  "policy": self._gate.policy})
                     raise QueueFull(
                         f"service queue full: {self._inflight} items "
                         f"queued or in flight at max_queue="
                         f"{self._gate.max_queue} "
                         f"({self._gate.policy} policy)")
+                if self._tracer is not None:
+                    self._tracer.emit("admitted", request=req, kind=kind,
+                                      key=key)
                 # Queue first, then move the counters: an exception
                 # from the batcher must not leak a phantom in-flight
                 # item that close() would wait on forever.
-                self._batcher.submit(key, _Item(matrix=A, future=future),
-                                     expires=self._gate.expiry(deadline))
+                self._batcher.submit(
+                    key, _Item(matrix=A, future=future, req=req,
+                               kind=kind),
+                    expires=self._gate.expiry(deadline))
                 if self._first_submit is None:
                     self._first_submit = self._clock()
                 self._submitted += 1
                 self._submitted_by_kind[kind] += 1
                 self._inflight += 1
+                if self._tracer is not None:
+                    self._tracer.emit(
+                        "enqueued", request=req, kind=kind, key=key,
+                        meta={"queued": self._batcher.pending(),
+                              "inflight": self._inflight})
                 self._ensure_thread()
                 self._cond.notify_all()
         finally:
@@ -544,6 +638,10 @@ class JacobiService:
         dropped = self._batcher.pop_expired()
         if not dropped:
             return []
+        if self._tracer is not None:
+            for key, item in dropped:
+                self._tracer.emit("expired", request=item.req,
+                                  kind=item.kind, key=key)
         self._shed += len(dropped)
         self._inflight -= len(dropped)
         if self._controller is not None:
@@ -567,6 +665,9 @@ class JacobiService:
                     "flushed; the item was shed, not solved"))
             except InvalidStateError:
                 pass  # caller cancelled the future; shed anyway
+            if self._tracer is not None:
+                self._tracer.emit("shed", request=item.req,
+                                  kind=item.kind)
 
     def _dispatch(self, event: FlushEvent) -> None:
         # Every exit of this method must settle or fail the items: an
@@ -577,6 +678,13 @@ class JacobiService:
         with self._cond:
             self._flushes[event.cause] += 1
             self._batched_items += len(items)
+        if self._tracer is not None:
+            for item in items:
+                self._tracer.emit("flushed", request=item.req,
+                                  kind=item.kind, key=event.key,
+                                  batch=event.batch,
+                                  meta={"cause": event.cause,
+                                        "size": event.size})
         try:
             matrices = np.stack([item.matrix for item in items])
             if kind == "svd":
@@ -593,8 +701,15 @@ class JacobiService:
                     "tol": self.tol, "max_sweeps": self.max_sweeps,
                     "compute_eigenvectors": self.compute_eigenvectors,
                 }
-            if (self._executor is not None
-                    and self._executor.uses_processes):
+            use_pool = (self._executor is not None
+                        and self._executor.uses_processes)
+            if self._tracer is not None:
+                mode = "pool" if use_pool else "inline"
+                for item in items:
+                    self._tracer.emit("dispatched", request=item.req,
+                                      kind=item.kind, batch=event.batch,
+                                      meta={"mode": mode})
+            if use_pool:
                 fut = self._executor.submit(solve, payload)
                 # Register before wiring the callback: if the pool
                 # breaks mid-flush, close() sweeps this registry and
@@ -609,10 +724,10 @@ class JacobiService:
                 return
             out = solve(payload)
         except BaseException as exc:  # noqa: BLE001 - futures carry it
-            self._fail(items, exc)
+            self._fail(items, exc, event)
             return
         self._observe(event, out.get("elapsed"))
-        self._settle(items, out)
+        self._settle(items, out, event)
 
     def _complete_remote(self, items: List[_Item], event: FlushEvent,
                          fut: "Future[Dict[str, np.ndarray]]") -> None:
@@ -625,11 +740,11 @@ class JacobiService:
             return  # close() already swept and failed these items
         exc = fut.exception()
         if exc is not None:
-            self._fail(items, exc)
+            self._fail(items, exc, event)
         else:
             out = fut.result()
             self._observe(event, out.get("elapsed"))
-            self._settle(items, out)
+            self._settle(items, out, event)
 
     def _observe(self, event: FlushEvent,
                  elapsed: Optional[float]) -> None:
@@ -652,8 +767,18 @@ class JacobiService:
                 # deadline earlier than its current wait timeout.
                 self._cond.notify_all()
 
-    def _settle(self, items: List[_Item],
-                out: Dict[str, np.ndarray]) -> None:
+    def _settle(self, items: List[_Item], out: Dict[str, np.ndarray],
+                event: Optional[FlushEvent] = None) -> None:
+        batch = event.batch if event is not None else None
+        if self._tracer is not None:
+            worker = out.get("worker")
+            worker = None if worker is None else str(worker)
+            elapsed = out.get("elapsed")
+            for item in items:
+                self._tracer.emit("solved", request=item.req,
+                                  kind=item.kind, batch=batch,
+                                  worker=worker,
+                                  meta={"elapsed": elapsed})
         completed = 0
         cancelled = 0
         for k, item in enumerate(items):
@@ -672,22 +797,34 @@ class JacobiService:
                         sweeps=int(out["sweeps"][k]),
                         converged=bool(out["converged"][k]))
             except Exception as exc:
-                self._fail(items[k:], exc)
+                self._fail(items[k:], exc, event)
                 break
+            if self._tracer is not None:
+                self._tracer.emit("merged", request=item.req,
+                                  kind=item.kind, batch=batch)
             try:
                 item.future.set_result(result)
                 completed += 1
+                if self._tracer is not None:
+                    self._tracer.emit("resolved", request=item.req,
+                                      kind=item.kind, batch=batch)
             except InvalidStateError:
                 cancelled += 1  # caller cancelled; result discarded
+                if self._tracer is not None:
+                    self._tracer.emit("failed", request=item.req,
+                                      kind=item.kind, batch=batch,
+                                      meta={"error": "cancelled"})
         with self._cond:
             self._completed += completed
             self._cancelled += cancelled
             self._inflight -= completed + cancelled
             self._cond.notify_all()
 
-    def _fail(self, items: List[_Item], exc: BaseException) -> None:
+    def _fail(self, items: List[_Item], exc: BaseException,
+              event: Optional[FlushEvent] = None) -> None:
         if not items:
             return
+        batch = event.batch if event is not None else None
         failed = 0
         cancelled = 0
         for item in items:
@@ -696,6 +833,10 @@ class JacobiService:
                 failed += 1
             except InvalidStateError:
                 cancelled += 1  # caller cancelled; error discarded
+            if self._tracer is not None:
+                self._tracer.emit("failed", request=item.req,
+                                  kind=item.kind, batch=batch,
+                                  meta={"error": type(exc).__name__})
         with self._cond:
             self._failed += failed
             self._cancelled += cancelled
@@ -748,6 +889,46 @@ class JacobiService:
                            / self._solved_batches[kind]
                            if self._solved_batches[kind] else 0.0)
                     for kind in KINDS})
+
+    def trace(self) -> EventTimeline:
+        """Export the recorded per-request event timeline.
+
+        Only available on a service built with ``trace=True`` or an
+        enabled ``tracer``.  The timeline's ``meta`` records the
+        service configuration (dimensions, batching limits, admission
+        settings, workers) plus the tracer's retention counters, so an
+        exported trace is self-describing — which is what lets
+        ``repro-jacobi load-bench --replay`` reconstruct a recorded
+        run (see :mod:`repro.analysis.loadgen`).
+
+        Returns
+        -------
+        EventTimeline
+            The retained events, oldest first (see
+            :class:`~repro.analysis.events.EventTimeline`).
+
+        Raises
+        ------
+        SimulationError
+            The service was built without tracing.
+        """
+        if self._tracer is None:
+            raise SimulationError(
+                "service was built without tracing; pass trace=True "
+                "(or an enabled tracer) to record events")
+        with self._cond:
+            meta = {
+                "d": self.d, "ordering": self.ordering, "tol": self.tol,
+                "max_sweeps": self.max_sweeps, "workers": self.workers,
+                "adaptive": self.adaptive,
+                "max_batch": self._batcher.max_batch,
+                "max_delay": self._batcher.max_delay,
+                "max_queue": self._gate.max_queue,
+                "admission": self._gate.policy,
+                "default_deadline": self._gate.default_deadline,
+                "requests": self._next_request,
+            }
+        return self._tracer.timeline(source="service", meta=meta)
 
     def close(self) -> None:
         """Drain the queue, resolve every future, stop the dispatcher.

@@ -25,6 +25,13 @@ Every :class:`FlushEvent` reports the limits that were in effect and
 the backlog the release left behind, so a tuning policy can judge
 whether the current settings fit the observed traffic.
 
+Releases are numbered: every :class:`FlushEvent` carries a
+monotonically increasing ``batch`` id, which is what ties a request's
+trace events (``flushed`` / ``dispatched`` / ``solved``) to the
+micro-batch that carried it.  When the batcher is built with a
+:class:`~repro.service.tracing.Tracer` it also emits one batch-level
+``"flush"`` event per release (size, cause, wait, backlog, limits).
+
 Items can additionally carry a per-item *expiry* (an absolute clock
 value): :meth:`pop_expired` removes and returns everything past its
 expiry so the owner can shed stale work instead of batching it — the
@@ -49,6 +56,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
 from ..errors import SimulationError
+from .tracing import resolve_tracer
 
 __all__ = ["FLUSH_CAUSES", "FlushEvent", "MicroBatcher"]
 
@@ -80,6 +88,10 @@ class FlushEvent:
         The ``max_batch`` in effect for the key at release time.
     limit_delay:
         The ``max_delay`` in effect for the key at release time.
+    batch:
+        Monotonically increasing release id assigned by the batcher
+        (-1 for events constructed outside one) — the join key between
+        a request's trace events and its micro-batch.
     """
 
     key: Hashable
@@ -89,6 +101,7 @@ class FlushEvent:
     queued_after: int = 0
     limit_batch: int = 0
     limit_delay: float = 0.0
+    batch: int = -1
 
     @property
     def size(self) -> int:
@@ -118,19 +131,26 @@ class MicroBatcher:
         deadline flush (>= 0; ``0`` releases on the next poll).
     clock:
         Monotonic time source (injectable for tests).
+    tracer:
+        Optional :class:`~repro.service.tracing.Tracer`; when enabled,
+        every release additionally emits a batch-level ``"flush"``
+        event (``None`` or a disabled tracer costs nothing).
 
     Both defaults can be overridden per key with :meth:`set_limits`;
     overrides are sticky — they survive the key's queue emptying.
     """
 
     def __init__(self, max_batch: int = 16, max_delay: float = 0.02,
-                 clock: Callable[[], float] = time.monotonic) -> None:
+                 clock: Callable[[], float] = time.monotonic,
+                 tracer: Optional[Any] = None) -> None:
         self.max_batch = int(max_batch)
         self.max_delay = float(max_delay)
         _check_limits(max_batch, max_delay)
         self._clock = clock
+        self._tracer = resolve_tracer(tracer)
         self._groups: Dict[Hashable, _Group] = {}
         self._limits: Dict[Hashable, Tuple[int, float]] = {}
+        self._next_batch = 0
 
     # ------------------------------------------------------------------
     def limits_for(self, key: Hashable) -> Tuple[int, float]:
@@ -288,9 +308,17 @@ class MicroBatcher:
         queued_after = len(group.items)
         if not group.items:
             del self._groups[key]
+        batch_id = self._next_batch
+        self._next_batch += 1
+        if self._tracer is not None:
+            self._tracer.emit(
+                "flush", key=key, batch=batch_id,
+                meta={"size": len(items), "cause": cause,
+                      "waited": waited, "queued_after": queued_after,
+                      "limit_batch": batch, "limit_delay": delay})
         return FlushEvent(key=key, items=items, cause=cause, waited=waited,
                           queued_after=queued_after, limit_batch=batch,
-                          limit_delay=delay)
+                          limit_delay=delay, batch=batch_id)
 
     def pop_ready(self, now: Optional[float] = None) -> List[FlushEvent]:
         """Release every size-ready batch and every expired group.

@@ -158,7 +158,9 @@ def solve_batch_remote(payload: Dict[str, Any]) -> Dict[str, np.ndarray]:
         ``converged``) so the result pickles cheaply, plus ``elapsed``
         — the wall-clock seconds of the solve, measured *here* (inside
         the worker when dispatched remotely) so the service's per-kind
-        latency feedback reflects solve cost, not queueing or pickling.
+        latency feedback reflects solve cost, not queueing or pickling
+        — and ``worker``, the solving process's pid, which is what the
+        tracing layer uses for per-worker attribution.
         Convergence failures are reported per matrix (``converged``
         flags), never raised — the service decides what a miss means.
     """
@@ -178,7 +180,8 @@ def solve_batch_remote(payload: Dict[str, Any]) -> Dict[str, np.ndarray]:
             "eigenvectors": res.eigenvectors,
             "sweeps": res.sweeps,
             "converged": res.converged,
-            "elapsed": elapsed}
+            "elapsed": elapsed,
+            "worker": os.getpid()}
 
 
 def solve_svd_batch_remote(payload: Dict[str, Any]) -> Dict[str, np.ndarray]:
@@ -199,8 +202,9 @@ def solve_svd_batch_remote(payload: Dict[str, Any]) -> Dict[str, np.ndarray]:
     dict
         Plain arrays (``U`` / ``S`` / ``Vt`` / ``sweeps`` /
         ``converged``) plus ``elapsed``, the solve's wall-clock seconds
-        measured inside this call.  Convergence misses are data
-        (``converged`` flags), never raised.
+        measured inside this call, and ``worker``, the solving
+        process's pid (per-worker trace attribution).  Convergence
+        misses are data (``converged`` flags), never raised.
     """
     import time as _time
 
@@ -214,7 +218,8 @@ def solve_svd_batch_remote(payload: Dict[str, Any]) -> Dict[str, np.ndarray]:
     elapsed = _time.perf_counter() - t0
     return {"U": res.U, "S": res.S, "Vt": res.Vt,
             "sweeps": res.sweeps, "converged": res.converged,
-            "elapsed": elapsed}
+            "elapsed": elapsed,
+            "worker": os.getpid()}
 
 
 def _warm_worker(specs: Tuple[Tuple[str, int], ...],

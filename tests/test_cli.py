@@ -102,6 +102,64 @@ class TestCommands:
         with pytest.raises(SimulationError, match="unknown scenario"):
             main(["load-bench", "--scenarios", "tsunami", "--items", "4"])
 
+    def test_load_bench_trace_out_writes_bundle(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        assert main(["load-bench", "--scenarios", "trickle",
+                     "--items", "6", "--trace-out", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "trace bundle written" in out
+        bundle = json.loads(trace.read_text())
+        assert bundle["schema"] == "repro-trace-bundle/v1"
+        # one traced timeline per (scenario, setting) replay
+        assert len(bundle["traces"]) == 3
+        for record in bundle["traces"]:
+            assert record["timeline"]["schema"] == "repro-trace/v1"
+            assert record["settings"]["max_batch"] >= 1
+
+    def test_load_bench_replay_reports_outcome_match(self, capsys,
+                                                     tmp_path):
+        trace = tmp_path / "trace.json"
+        assert main(["load-bench", "--scenarios", "trickle",
+                     "--items", "6", "--trace-out", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["load-bench", "--replay", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "replayed 3 recorded runs" in out
+        assert "outcome sequences match" in out
+
+    def test_load_bench_replay_excludes_trace_out(self, capsys):
+        assert main(["load-bench", "--replay", "x.json",
+                     "--trace-out", "y.json"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_trace_report_on_bundle(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        assert main(["load-bench", "--scenarios", "trickle",
+                     "--items", "6", "--trace-out", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["trace-report", str(trace), "--width", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "per-request latency by stage" in out
+        assert "per-worker utilisation" in out
+        assert out.count("incomplete lifecycles: 0") == 3
+        assert "worker" in out
+
+    def test_trace_report_on_single_timeline(self, capsys, tmp_path):
+        from repro.jacobi import make_symmetric_test_matrix
+        from repro.service import JacobiService
+
+        path = tmp_path / "one.json"
+        with JacobiService(d=1, max_batch=1, max_delay=0.0,
+                           trace=True) as svc:
+            fut = svc.submit(make_symmetric_test_matrix(8, rng=0))
+            assert fut.result(timeout=30.0).converged
+        path.write_text(svc.trace().to_json())
+        assert main(["trace-report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "service" in out
+        assert "solve" in out
+        assert "incomplete lifecycles: 0" in out
+
     def test_figure2_small(self, capsys):
         assert main(["figure2", "--dims", "5..6", "--m-exponents", "18",
                      "--no-chart"]) == 0

@@ -1,0 +1,192 @@
+"""Unified event timelines: schema round trips, lifecycle validation
+and the derived per-request / per-worker summaries.
+
+The synthetic-timeline tests pin the analysis functions against
+hand-built event sequences (exact expected numbers, no service run);
+the simulator export test round-trips a real
+:class:`~repro.simulator.trace.CommunicationTrace` through the shared
+JSON schema and back, field for field.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.events import (
+    REQUEST_STAGES,
+    TERMINAL_STAGES,
+    TRACE_SCHEMA,
+    EventTimeline,
+    TraceEvent,
+    comm_records_from_timeline,
+    comm_trace_to_timeline,
+    request_spans,
+    stage_percentiles,
+    validate_lifecycles,
+    worker_utilisation,
+)
+from repro.errors import SimulationError
+
+
+def _lifecycle(req, base=0.0, worker="9", batch=0, seq0=0):
+    """One complete solved lifecycle starting at t=base."""
+    stages = ["submit", "admitted", "enqueued", "flushed", "dispatched",
+              "solved", "merged", "resolved"]
+    out = []
+    for k, stage in enumerate(stages):
+        meta = {"elapsed": 0.2} if stage == "solved" else {}
+        out.append(TraceEvent(seq=seq0 + k, t=base + 0.1 * k,
+                              stage=stage, request=req, kind="eigen",
+                              batch=batch if stage in ("flushed",
+                                                       "dispatched",
+                                                       "solved") else None,
+                              worker=worker if stage == "solved" else None,
+                              meta=meta))
+    return out
+
+
+class TestTraceEventRoundTrip:
+    def test_to_dict_omits_empty_fields(self):
+        ev = TraceEvent(seq=3, t=1.5, stage="submit", request=2)
+        d = ev.to_dict()
+        assert d == {"seq": 3, "t": 1.5, "stage": "submit", "request": 2}
+        assert TraceEvent.from_dict(d) == ev
+
+    def test_full_event_round_trips(self):
+        ev = TraceEvent(seq=0, t=0.25, stage="solved", request=1,
+                        kind="svd", key="('svd', 24, 12)", batch=4,
+                        worker="123", meta={"elapsed": 0.01})
+        assert TraceEvent.from_dict(ev.to_dict()) == ev
+
+
+class TestEventTimelineRoundTrip:
+    def test_json_round_trip_is_equal(self):
+        events = tuple(_lifecycle(0) + _lifecycle(1, base=1.0, seq0=8))
+        tl = EventTimeline(source="service", events=events,
+                           meta={"workers": 0})
+        again = EventTimeline.from_json(tl.to_json())
+        assert again == tl
+        assert again.duration == pytest.approx(tl.duration)
+
+    def test_schema_is_checked(self):
+        tl = EventTimeline(source="service", events=(), meta={})
+        doc = tl.to_dict()
+        assert doc["schema"] == TRACE_SCHEMA
+        doc["schema"] = "something/else"
+        with pytest.raises(SimulationError, match="schema"):
+            EventTimeline.from_dict(doc)
+
+    def test_by_request_groups_and_orders(self):
+        events = tuple(_lifecycle(1) + _lifecycle(0, base=2.0, seq0=8))
+        tl = EventTimeline(source="service", events=events, meta={})
+        grouped = tl.by_request()
+        assert sorted(grouped) == [0, 1]
+        assert [ev.stage for ev in grouped[0]][0] == "submit"
+        assert len(grouped[0]) == len(grouped[1]) == 8
+
+
+class TestValidateLifecycles:
+    def test_complete_lifecycles_pass(self):
+        events = tuple(_lifecycle(0) + _lifecycle(1, base=1.0, seq0=8))
+        tl = EventTimeline(source="service", events=events, meta={})
+        assert validate_lifecycles(tl) == {}
+
+    def test_rejected_is_a_complete_lifecycle(self):
+        events = (
+            TraceEvent(seq=0, t=0.0, stage="submit", request=0),
+            TraceEvent(seq=1, t=0.0, stage="rejected", request=0),
+        )
+        tl = EventTimeline(source="service", events=events, meta={})
+        assert validate_lifecycles(tl) == {}
+
+    def test_missing_terminal_is_flagged(self):
+        events = tuple(_lifecycle(0)[:-1])  # drop "resolved"
+        tl = EventTimeline(source="service", events=events, meta={})
+        problems = validate_lifecycles(tl)
+        assert 0 in problems and "terminal" in problems[0]
+
+    def test_out_of_order_stages_are_flagged(self):
+        good = _lifecycle(0)
+        swapped = tuple(good[:3] + [good[4], good[3]] + good[5:])
+        tl = EventTimeline(source="service", events=swapped, meta={})
+        assert 0 in validate_lifecycles(tl)
+
+    def test_time_going_backwards_is_flagged(self):
+        good = _lifecycle(0)
+        bad = good[5]
+        events = tuple(good[:5] + [
+            TraceEvent(seq=bad.seq, t=0.0, stage=bad.stage,
+                       request=bad.request, kind=bad.kind,
+                       batch=bad.batch, worker=bad.worker,
+                       meta=bad.meta)] + good[6:])
+        tl = EventTimeline(source="service", events=events, meta={})
+        assert 0 in validate_lifecycles(tl)
+
+    def test_stage_vocabulary_is_consistent(self):
+        assert TERMINAL_STAGES <= set(REQUEST_STAGES)
+        assert REQUEST_STAGES["submit"] == 0
+        for stage in TERMINAL_STAGES:
+            assert REQUEST_STAGES[stage] >= REQUEST_STAGES["solved"] \
+                or stage in ("rejected", "shed")
+
+
+class TestDerivedSummaries:
+    def test_request_spans_exact_values(self):
+        tl = EventTimeline(source="service",
+                           events=tuple(_lifecycle(0)), meta={})
+        spans = request_spans(tl)
+        assert spans[0]["outcome"] == "resolved"
+        assert spans[0]["queue"] == pytest.approx(0.1)  # enqueued->flushed
+        assert spans[0]["solve"] == pytest.approx(0.2)  # meta elapsed
+        assert spans[0]["total"] == pytest.approx(0.7)  # submit->resolved
+
+    def test_stage_percentiles_shape(self):
+        events = tuple(_lifecycle(0) + _lifecycle(1, base=1.0, seq0=8))
+        tl = EventTimeline(source="service", events=events, meta={})
+        pct = stage_percentiles(tl)
+        assert {"queue", "solve", "total"} <= set(pct)
+        assert pct["total"]["count"] == 2
+        assert pct["total"]["p50"] == pytest.approx(0.7)
+
+    def test_worker_utilisation_dedupes_batches(self):
+        # two requests solved in the same batch on the same worker:
+        # one busy interval, two items
+        events = tuple(_lifecycle(0, worker="5", batch=7)
+                       + _lifecycle(1, base=0.0, worker="5", batch=7,
+                                    seq0=8))
+        tl = EventTimeline(source="service", events=events, meta={})
+        util = worker_utilisation(tl)
+        assert list(util) == ["5"]
+        assert util["5"]["batches"] == 1
+        assert util["5"]["items"] == 2
+        assert util["5"]["busy"] == pytest.approx(0.2)
+
+
+class TestCommTraceExport:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        from repro.jacobi import (ParallelOneSidedJacobi,
+                                  make_symmetric_test_matrix)
+        from repro.orderings import get_ordering
+
+        A = make_symmetric_test_matrix(16, rng=0)
+        solver = ParallelOneSidedJacobi(get_ordering("degree4", 2))
+        return solver.solve(A).trace
+
+    def test_round_trip_reproduces_every_record(self, trace):
+        tl = comm_trace_to_timeline(trace)
+        again = EventTimeline.from_json(tl.to_json())
+        assert comm_records_from_timeline(again) == list(trace.records)
+
+    def test_timeline_carries_cost_metadata(self, trace):
+        tl = comm_trace_to_timeline(trace)
+        assert tl.source == "simulator"
+        assert tl.meta["total_cost"] == pytest.approx(trace.total_cost)
+        assert tl.meta["num_steps"] == trace.num_steps
+        assert len(tl.events) == len(trace.records)
+        # event times are the cumulative simulated cost
+        assert tl.events[-1].t == pytest.approx(trace.total_cost)
+
+    def test_comm_events_are_not_request_lifecycles(self, trace):
+        tl = comm_trace_to_timeline(trace)
+        assert validate_lifecycles(tl) == {}

@@ -164,15 +164,20 @@ class TestRejectPolicy:
             for f in futures:
                 assert f.result(timeout=30.0).converged
 
-    def test_rejection_leaves_no_trace_in_counters(self):
+    def test_rejection_stays_on_the_ledger(self):
+        """A rejected submission is still a submission: it counts in
+        ``submitted`` and lands in ``rejected``, so the stats identity
+        ``submitted == accounted`` holds (it enqueues nothing)."""
         with JacobiService(d=1, max_batch=100, max_delay=60.0,
                            max_queue=1) as svc:
             svc.submit(_mats(8, 1)[0])
             with pytest.raises(QueueFull):
                 svc.submit(_mats(8, 1, seed=1)[0])
             st = svc.stats()
-            assert st.submitted == 1
+            assert st.submitted == 2
+            assert st.rejected == 1
             assert st.queue_depth + st.inflight == 1
+            assert st.accounted == st.submitted
             svc.flush()
 
     def test_admitted_matrices_stay_bit_identical(self):
@@ -333,6 +338,34 @@ class TestStatsSplit:
         closer.start()
         closer.join(timeout=30.0)
         assert not closer.is_alive()  # close() terminated, no phantom
+
+
+# ----------------------------------------------------------------------
+class TestStatsIdentity:
+    def test_ledger_balances_throughout_an_overload_run(self):
+        """At *every* observation point of an overloaded run, each
+        submission sits in exactly one bucket: ``submitted ==
+        completed + failed + cancelled + rejected + shed + inflight +
+        queued`` (:attr:`ServiceStats.accounted`).  Sampled after
+        every submit — while rejections, sheds and solves interleave —
+        and again after the drain."""
+        mats = _mats(16, 40, seed=7)
+        with JacobiService(d=1, max_batch=4, max_delay=0.002,
+                           max_queue=6, admission="shed",
+                           default_deadline=0.01) as svc:
+            for A in mats:
+                try:
+                    svc.submit(A)
+                except QueueFull:
+                    pass
+                st = svc.stats()
+                assert st.accounted == st.submitted, (
+                    f"ledger off mid-run: {st}")
+        st = svc.stats()
+        assert st.accounted == st.submitted
+        assert st.queue_depth == 0 and st.inflight == 0
+        assert st.submitted == 40  # every attempt counted somewhere
+        assert st.rejected + st.shed > 0  # the run actually overloaded
 
 
 # ----------------------------------------------------------------------

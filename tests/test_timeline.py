@@ -4,7 +4,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis import render_link_timeline, render_phase_timelines
+from repro.analysis import (
+    render_gantt,
+    render_link_timeline,
+    render_phase_timelines,
+    render_worker_timeline,
+)
+from repro.analysis.events import EventTimeline, TraceEvent
 from repro.errors import PipeliningError
 from repro.orderings import br_sequence
 
@@ -27,9 +33,25 @@ class TestRenderLinkTimeline:
         link0 = [l for l in text.splitlines() if l.startswith("link 0")][0]
         assert "2" in link0
 
-    def test_truncation_marker(self):
-        text = render_link_timeline(br_sequence(6), Q=8, max_stages=10)
-        assert "(truncated)" in text
+    def test_truncation_marker_counts_hidden_stages(self):
+        from repro.ccube.model import CCCubeAlgorithm
+        from repro.ccube.pipelining import PipelinedSchedule
+
+        seq = br_sequence(6)
+        total = PipelinedSchedule(
+            CCCubeAlgorithm(tuple(seq), message_elems=1.0), 8).num_stages
+        text = render_link_timeline(seq, Q=8, max_stages=10)
+        assert f"(truncated; {total - 10} more stages)" in text
+
+    def test_no_truncation_marker_when_complete(self):
+        text = render_link_timeline((0, 1, 0), Q=1)
+        assert "truncated" not in text
+
+    def test_width_overrides_max_stages(self):
+        text = render_link_timeline(br_sequence(6), Q=8, max_stages=10,
+                                    width=7)
+        row = [l for l in text.splitlines() if l.startswith("link 0")][0]
+        assert len(row.split("|")[1]) == 7
 
     def test_phase_timelines_smoke(self):
         text = render_phase_timelines(5, 4)
@@ -39,6 +61,41 @@ class TestRenderLinkTimeline:
     def test_invalid_q(self):
         with pytest.raises(PipeliningError):
             render_phase_timelines(5, 0)
+
+
+class TestRenderGantt:
+    def test_rows_rule_and_axis(self):
+        text = render_gantt([("a ", "12."), ("bb ", "..1")],
+                            axis="legend", title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1] == "a  |12."
+        assert lines[2] == "bb |..1"
+        assert lines[3] == "   +---"
+        assert lines[4] == "    legend"
+
+
+class TestRenderWorkerTimeline:
+    def test_synthetic_solved_events(self):
+        evs = (
+            TraceEvent(seq=0, t=0.0, stage="submit", request=0),
+            TraceEvent(seq=1, t=0.5, stage="solved", request=0, batch=0,
+                       worker="7", meta={"elapsed": 0.25}),
+            TraceEvent(seq=2, t=1.0, stage="resolved", request=0),
+        )
+        tl = EventTimeline(source="service", events=evs, meta={})
+        text = render_worker_timeline(tl, width=10)
+        row = [l for l in text.splitlines()
+               if l.startswith("worker 7")][0]
+        cells = row.split("|")[1]
+        assert len(cells) == 10
+        # the batch solved from t=0.25 to t=0.5 over a 1s trace: busy
+        # columns in the second quarter, idle either side
+        assert "1" in cells and cells[0] == "." and cells[-1] == "."
+
+    def test_empty_trace_notes_no_batches(self):
+        tl = EventTimeline(source="service", events=(), meta={})
+        assert "no solved batches" in render_worker_timeline(tl)
 
 
 class TestCliTimeline:
