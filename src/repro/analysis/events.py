@@ -46,6 +46,7 @@ __all__ = [
     "TRACE_SCHEMA",
     "REQUEST_STAGES",
     "TERMINAL_STAGES",
+    "TRANSPORT_STAGES",
     "TraceEvent",
     "EventTimeline",
     "validate_lifecycles",
@@ -63,9 +64,10 @@ TRACE_SCHEMA = "repro-trace/v1"
 #: Partial order of the per-request lifecycle stages: a request's events
 #: must carry non-decreasing ranks (several stages share a rank when
 #: either may legitimately come first).  Stages outside this map —
-#: batch-level ``"flush"``, gate-level ``"overload"``, controller-level
-#: ``"retuned"``, and the simulator's record kinds — are not request
-#: lifecycle stages and are ignored by :func:`validate_lifecycles`.
+#: batch-level ``"flush"`` and the :data:`TRANSPORT_STAGES`, gate-level
+#: ``"overload"``, controller-level ``"retuned"``, and the simulator's
+#: record kinds — are not request lifecycle stages and are ignored by
+#: :func:`validate_lifecycles`.
 REQUEST_STAGES: Dict[str, int] = {
     "submit": 0,
     "admitted": 1,
@@ -85,6 +87,15 @@ REQUEST_STAGES: Dict[str, int] = {
 #: reach exactly one of them.
 TERMINAL_STAGES = frozenset({"rejected", "shed", "resolved", "failed"})
 
+#: Batch-level data-plane edges emitted by a shared-memory transport
+#: (see :mod:`repro.service.transport`): ``"attached"`` when a flush's
+#: segment is filled and handed to the dispatch (meta carries the
+#: segment name, its byte size and whether the ring reused a warm
+#: buffer), ``"detached"`` when the results have been copied out and
+#: the segment returned to the ring.  Not request lifecycle stages —
+#: they carry a ``batch`` id, no ``request``.
+TRANSPORT_STAGES = ("attached", "detached")
+
 
 @dataclass(frozen=True)
 class TraceEvent:
@@ -101,8 +112,9 @@ class TraceEvent:
         traces).
     stage:
         What happened — a :data:`REQUEST_STAGES` lifecycle edge, a
-        batch-level ``"flush"``, a gate ``"overload"``, a controller
-        ``"retuned"``, or a simulator record kind.
+        batch-level ``"flush"`` or :data:`TRANSPORT_STAGES` edge, a
+        gate ``"overload"``, a controller ``"retuned"``, or a
+        simulator record kind.
     request:
         The request id the event belongs to (``None`` for events not
         tied to one request, e.g. batch-level flushes).

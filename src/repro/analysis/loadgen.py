@@ -436,6 +436,7 @@ def replay(arrivals: Sequence[Arrival], matrices: Sequence[np.ndarray],
            default_deadline: Optional[float] = None,
            warmup_frac: float = 0.2, d: int = 2,
            tol: float = DEFAULT_TOL, timeout: float = 120.0,
+           transport: Optional[str] = None,
            tracer: Optional[Any] = None) -> LoadResult:
     """Open-loop replay of one trace against one service configuration.
 
@@ -476,6 +477,10 @@ def replay(arrivals: Sequence[Arrival], matrices: Sequence[np.ndarray],
         Convergence tolerance.
     timeout:
         Seconds to wait for the replay's futures before giving up.
+    transport:
+        Batch data plane handed to the service — ``None``/``"pickle"``
+        for the pickle pipe, ``"shm"`` for the zero-copy
+        shared-memory plane (see :mod:`repro.service.transport`).
     tracer:
         Explicit tracer handed to the service (e.g. a shared
         :class:`~repro.service.tracing.Tracer`, or
@@ -496,7 +501,8 @@ def replay(arrivals: Sequence[Arrival], matrices: Sequence[np.ndarray],
         tuning_bounds=tuning_bounds, tuning_window=tuning_window,
         max_queue=max_queue, admission=admission,
         default_deadline=default_deadline, warmup_frac=warmup_frac,
-        d=d, tol=tol, timeout=timeout, trace=False, tracer=tracer)
+        d=d, tol=tol, timeout=timeout, transport=transport,
+        trace=False, tracer=tracer)
     return result
 
 
@@ -509,7 +515,8 @@ def replay_traced(arrivals: Sequence[Arrival],
                   max_queue: int = 0, admission: str = "reject",
                   default_deadline: Optional[float] = None,
                   warmup_frac: float = 0.2, d: int = 2,
-                  tol: float = DEFAULT_TOL, timeout: float = 120.0
+                  tol: float = DEFAULT_TOL, timeout: float = 120.0,
+                  transport: Optional[str] = None
                   ) -> Tuple[LoadResult, EventTimeline]:
     """:func:`replay` with per-request tracing on.
 
@@ -523,7 +530,7 @@ def replay_traced(arrivals: Sequence[Arrival],
         tuning_bounds=tuning_bounds, tuning_window=tuning_window,
         max_queue=max_queue, admission=admission,
         default_deadline=default_deadline, warmup_frac=warmup_frac,
-        d=d, tol=tol, timeout=timeout, trace=True)
+        d=d, tol=tol, timeout=timeout, transport=transport, trace=True)
     assert timeline is not None
     return result, timeline
 
@@ -537,6 +544,7 @@ def _replay(arrivals: Sequence[Arrival], matrices: Sequence[np.ndarray],
             default_deadline: Optional[float] = None,
             warmup_frac: float = 0.2, d: int = 2,
             tol: float = DEFAULT_TOL, timeout: float = 120.0,
+            transport: Optional[str] = None,
             trace: bool = False, tracer: Optional[Any] = None
             ) -> Tuple[LoadResult, Optional[EventTimeline]]:
     if len(arrivals) != len(matrices):
@@ -574,6 +582,7 @@ def _replay(arrivals: Sequence[Arrival], matrices: Sequence[np.ndarray],
                        tuning_window=tuning_window,
                        max_queue=max_queue, admission=admission,
                        default_deadline=default_deadline,
+                       transport=transport,
                        trace=trace, tracer=tracer) as svc:
         t0 = time.monotonic()
         for i, (a, A) in enumerate(zip(arrivals, matrices)):
@@ -651,7 +660,7 @@ def _replay(arrivals: Sequence[Arrival], matrices: Sequence[np.ndarray],
 #: :func:`replay` defaults, which are the same both times.
 _SETTING_KEYS = ("max_batch", "max_delay", "adaptive", "tuning_window",
                  "max_queue", "admission", "default_deadline",
-                 "warmup_frac", "d", "tol")
+                 "warmup_frac", "d", "tol", "transport")
 
 
 def _run_setting(arrivals: Sequence[Arrival],
@@ -678,6 +687,7 @@ def compute_load_bench(scenario_names: Optional[Sequence[str]] = None,
                        seed: int = 0,
                        warmup_frac: float = 0.2,
                        trace_sink: Optional[List[Dict[str, Any]]] = None,
+                       transport: Optional[str] = None,
                        ) -> List[LoadResult]:
     """Replay the scenario grid against every setting.
 
@@ -700,6 +710,11 @@ def compute_load_bench(scenario_names: Optional[Sequence[str]] = None,
         what ``repro-jacobi load-bench --trace-out`` serialises (see
         :func:`trace_bundle_to_json`).  ``None`` (the default) traces
         nothing.
+    transport:
+        Batch data plane for every replayed service —
+        ``None``/``"pickle"`` or ``"shm"`` (what ``repro-jacobi
+        load-bench --transport`` passes for A/B runs; see
+        :mod:`repro.service.transport`).
 
     Returns
     -------
@@ -727,20 +742,22 @@ def compute_load_bench(scenario_names: Optional[Sequence[str]] = None,
         if scenario.name == "overload":
             results.extend(_replay_overload(arrivals, matrices,
                                             warmup_frac=warmup_frac,
-                                            trace_sink=trace_sink))
+                                            trace_sink=trace_sink,
+                                            transport=transport))
             continue
         for setting in FIXED_SETTINGS:
             results.append(_run_setting(
                 arrivals, matrices, scenario=scenario.name,
                 label=setting.label, trace_sink=trace_sink,
                 max_batch=setting.max_batch,
-                max_delay=setting.max_delay, warmup_frac=warmup_frac))
+                max_delay=setting.max_delay, warmup_frac=warmup_frac,
+                transport=transport))
         results.append(_run_setting(
             arrivals, matrices, scenario=scenario.name,
             label=ADAPTIVE_START.label, trace_sink=trace_sink,
             max_batch=ADAPTIVE_START.max_batch,
             max_delay=ADAPTIVE_START.max_delay, adaptive=True,
-            warmup_frac=warmup_frac))
+            warmup_frac=warmup_frac, transport=transport))
     return results
 
 
@@ -748,6 +765,7 @@ def _replay_overload(arrivals: Sequence[Arrival],
                      matrices: Sequence[np.ndarray],
                      warmup_frac: float,
                      trace_sink: Optional[List[Dict[str, Any]]] = None,
+                     transport: Optional[str] = None,
                      ) -> List[LoadResult]:
     """The overload scenario's settings grid: an uncontended stretched
     twin (same bursts at 1/``OVERLOAD_STRETCH`` the rate, on half the
@@ -762,7 +780,7 @@ def _replay_overload(arrivals: Sequence[Arrival],
         stretched, matrices[:half], scenario="overload",
         label="uncontended", trace_sink=trace_sink,
         max_batch=OVERLOAD_BATCH, max_delay=OVERLOAD_DELAY,
-        warmup_frac=warmup_frac)]
+        warmup_frac=warmup_frac, transport=transport)]
     for setting in OVERLOAD_SETTINGS:
         results.append(_run_setting(
             arrivals, matrices, scenario="overload",
@@ -770,7 +788,7 @@ def _replay_overload(arrivals: Sequence[Arrival],
             max_batch=OVERLOAD_BATCH, max_delay=OVERLOAD_DELAY,
             max_queue=setting.max_queue, admission=setting.admission,
             default_deadline=setting.default_deadline,
-            warmup_frac=warmup_frac))
+            warmup_frac=warmup_frac, transport=transport))
     return results
 
 
@@ -803,7 +821,8 @@ def render_load_bench(rows: Sequence[LoadResult]) -> str:
 
 
 def results_to_json(rows: Sequence[LoadResult], *, seed: int,
-                    warmup_frac: float) -> str:
+                    warmup_frac: float,
+                    transport: Optional[str] = None) -> str:
     """Serialise a load-bench run for persistence.
 
     Parameters
@@ -813,6 +832,9 @@ def results_to_json(rows: Sequence[LoadResult], *, seed: int,
     seed, warmup_frac:
         The run parameters, recorded alongside the rows so a report is
         reproducible from its own header.
+    transport:
+        The batch data plane the run used (``None`` = the pickle
+        default), recorded in the header for the same reason.
 
     Returns
     -------
@@ -823,6 +845,7 @@ def results_to_json(rows: Sequence[LoadResult], *, seed: int,
         "benchmark": "load-bench",
         "seed": seed,
         "warmup_frac": warmup_frac,
+        "transport": transport,
         "fixed_settings": [asdict(s) for s in FIXED_SETTINGS],
         "adaptive_start": asdict(ADAPTIVE_START),
         "overload_settings": [asdict(s) for s in OVERLOAD_SETTINGS],

@@ -9,8 +9,8 @@ Usage (after ``pip install -e .``)::
     repro-jacobi svd-bench [--shapes 32x8,64x16] [--matrices N]
                            [--engine E] [--workers W]
     repro-jacobi load-bench [--scenarios trickle,bursty] [--items N]
-                            [--json PATH] [--trace-out PATH]
-                            [--replay PATH]
+                            [--transport pickle|shm] [--json PATH]
+                            [--trace-out PATH] [--replay PATH]
     repro-jacobi trace-report PATH [--width N]
     repro-jacobi figure2 [--dims 5..15] [--m-exponents 18,23,32]
     repro-jacobi appendix
@@ -139,14 +139,16 @@ def _cmd_load_bench(args: argparse.Namespace) -> int:
     sink = [] if args.trace_out is not None else None
     rows = compute_load_bench(scenario_names=scenarios, items=args.items,
                               seed=args.seed, warmup_frac=args.warmup,
-                              trace_sink=sink)
+                              trace_sink=sink, transport=args.transport)
     print(render_load_bench(rows))
     print(f"\n(seed: {args.seed}, warm-up excluded from percentiles: "
-          f"{args.warmup:.0%}; latency is scheduled-arrival -> "
-          f"resolution, open loop)")
+          f"{args.warmup:.0%}, transport: "
+          f"{args.transport or 'pickle'}; latency is "
+          f"scheduled-arrival -> resolution, open loop)")
     if args.json is not None:
         report = results_to_json(rows, seed=args.seed,
-                                 warmup_frac=args.warmup)
+                                 warmup_frac=args.warmup,
+                                 transport=args.transport)
         with open(args.json, "w", encoding="utf-8") as fh:
             fh.write(report + "\n")
         print(f"report written to {args.json}")
@@ -388,6 +390,12 @@ def build_parser() -> argparse.ArgumentParser:
                     help="leading fraction of each trace excluded from "
                          "the latency percentiles (adaptive runs start "
                          "untuned)")
+    lb.add_argument("--transport", choices=("pickle", "shm"),
+                    default=None,
+                    help="batch data plane for every replayed service: "
+                         "the pickle pipe (default) or the zero-copy "
+                         "shared-memory plane — run once with each for "
+                         "an A/B comparison")
     lb.add_argument("--json", default=None, metavar="PATH",
                     help="also write the machine-readable report here")
     lb.add_argument("--trace-out", default=None, metavar="PATH",

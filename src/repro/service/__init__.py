@@ -22,6 +22,12 @@ usable alone:
   items, enforced at submit time under one of three overload policies
   (synchronous rejection, blocking-with-timeout admission, or
   deadline-based shedding).
+* :mod:`repro.service.transport` — the pluggable batch data plane:
+  :class:`PickleTransport` ships flush payloads through the pool's
+  pickle pipe (the default), :class:`SharedMemoryTransport` places each
+  flush in a reusable shared-memory segment that workers read and write
+  in place — zero pickled array bytes — selected per service via
+  ``JacobiService(transport=...)``.
 * :mod:`repro.service.tracing` — :class:`Tracer`, the bounded,
   lock-safe per-request event recorder the other pieces emit lifecycle
   events into when the service is built with ``trace=True``;
@@ -59,6 +65,14 @@ from .tracing import (
     NullTracer,
     Tracer,
     resolve_tracer,
+)
+from .transport import (
+    TRANSPORTS,
+    PickleTransport,
+    SharedMemoryTransport,
+    Transport,
+    TransportStats,
+    resolve_transport,
 )
 from .pool import (
     ExecutorStats,
@@ -100,6 +114,12 @@ __all__ = [
     "NullTracer",
     "Tracer",
     "resolve_tracer",
+    "TRANSPORTS",
+    "Transport",
+    "TransportStats",
+    "PickleTransport",
+    "SharedMemoryTransport",
+    "resolve_transport",
     "ShardTask",
     "SvdShardTask",
     "ShardedExecutor",

@@ -91,6 +91,7 @@ from .admission import AdmissionDecision, AdmissionGate
 from .batcher import FLUSH_CAUSES, FlushEvent, MicroBatcher
 from .pool import ShardedExecutor, solve_batch_remote, solve_svd_batch_remote
 from .tracing import DEFAULT_TRACE_CAPACITY, Tracer, resolve_tracer
+from .transport import Transport, resolve_transport
 
 __all__ = ["KINDS", "SolveResult", "SvdResult", "ServiceStats",
            "JacobiService"]
@@ -179,6 +180,16 @@ class ServiceStats:
       batch solve, per traffic class (0.0 before any flush of that
       kind completes), measured inside the solve call itself — the
       per-kind latency feedback the controller consumes.
+
+    The transport fields expose the batch data plane (see
+    :mod:`repro.service.transport`):
+
+    * ``transport`` — the active transport's name (``"pickle"`` /
+      ``"shm"``);
+    * ``transport_counters`` — that transport's
+      :meth:`~repro.service.transport.TransportStats.counters`
+      snapshot (batches carried, bytes each way, and — for shared
+      memory — segment created/reused/unlinked/live counts).
     """
 
     submitted: int
@@ -202,6 +213,8 @@ class ServiceStats:
     limits: Dict[Any, Tuple[int, float]]
     tuning: Tuple[TuningEvent, ...]
     solve_latency_by_kind: Dict[str, float]
+    transport: str
+    transport_counters: Dict[str, int]
 
     @property
     def accounted(self) -> int:
@@ -293,6 +306,16 @@ class JacobiService:
         Optionally share a pre-built
         :class:`~repro.service.pool.ShardedExecutor`; it is then not
         shut down by :meth:`close`.
+    transport:
+        The batch data plane (see :mod:`repro.service.transport`):
+        ``None``/``"pickle"`` ships payloads through the pool's pickle
+        pipe (the default), ``"shm"`` places each flush in a
+        shared-memory segment that workers read and write in place
+        (zero pickled array bytes), and a ready
+        :class:`~repro.service.transport.Transport` instance is used
+        as-is — the caller then owns its :meth:`close`.  Bit-identity
+        is transport-independent: only the bytes' route changes, never
+        the merge order or the arithmetic.
     clock:
         Monotonic time source (injectable for tests), shared by the
         batcher, the admission gate, the adaptive controller and the
@@ -323,6 +346,7 @@ class JacobiService:
                  default_deadline: Optional[float] = None,
                  workers: int = 0, compute_eigenvectors: bool = True,
                  executor: Optional[ShardedExecutor] = None,
+                 transport: Optional[Any] = None,
                  adaptive: bool = False,
                  tuning_bounds: Optional[TuningBounds] = None,
                  tuning_policy: Optional[Any] = None,
@@ -371,6 +395,9 @@ class JacobiService:
             self._controller = None
         self._solve_seconds = {kind: 0.0 for kind in KINDS}
         self._solved_batches = {kind: 0 for kind in KINDS}
+        # An instance passed in stays caller-owned (mirrors executor).
+        self._own_transport = not isinstance(transport, Transport)
+        self._transport = resolve_transport(transport)
         self._own_executor = executor is None and self.workers >= 2
         if executor is not None:
             self._executor: Optional[ShardedExecutor] = executor
@@ -685,6 +712,7 @@ class JacobiService:
                                   batch=event.batch,
                                   meta={"cause": event.cause,
                                         "size": event.size})
+        handle: Optional[Any] = None
         try:
             matrices = np.stack([item.matrix for item in items])
             if kind == "svd":
@@ -703,6 +731,13 @@ class JacobiService:
                 }
             use_pool = (self._executor is not None
                         and self._executor.uses_processes)
+            wire, handle = self._transport.prepare(payload, kind)
+            if self._tracer is not None and handle is not None:
+                self._tracer.emit("attached", kind=kind,
+                                  batch=event.batch,
+                                  meta={"segment": handle.segment_name,
+                                        "bytes": handle.nbytes,
+                                        "reused": handle.reused})
             if self._tracer is not None:
                 mode = "pool" if use_pool else "inline"
                 for item in items:
@@ -710,7 +745,7 @@ class JacobiService:
                                       kind=item.kind, batch=event.batch,
                                       meta={"mode": mode})
             if use_pool:
-                fut = self._executor.submit(solve, payload)
+                fut = self._executor.submit(solve, wire)
                 # Register before wiring the callback: if the pool
                 # breaks mid-flush, close() sweeps this registry and
                 # fails the stranded items instead of waiting forever;
@@ -719,32 +754,61 @@ class JacobiService:
                 with self._cond:
                     self._pending_remote[fut] = items
                 fut.add_done_callback(
-                    lambda f, its=items, ev=event:
-                        self._complete_remote(its, ev, f))
+                    lambda f, its=items, ev=event, h=handle:
+                        self._complete_remote(its, ev, h, f))
                 return
-            out = solve(payload)
+            out = self._finalize(solve(wire), handle, event)
         except BaseException as exc:  # noqa: BLE001 - futures carry it
+            try:
+                self._transport.release(handle)
+            except Exception:  # pragma: no cover - cleanup best-effort
+                pass
             self._fail(items, exc, event)
             return
         self._observe(event, out.get("elapsed"))
         self._settle(items, out, event)
 
+    def _finalize(self, out: Dict[str, Any], handle: Optional[Any],
+                  event: FlushEvent) -> Dict[str, Any]:
+        """Decode one flush's wire result through the transport
+        (releasing its segment, if any) and trace the detach."""
+        result = self._transport.finalize(out, handle)
+        if self._tracer is not None and handle is not None:
+            self._tracer.emit("detached", kind=event.key[0],
+                              batch=event.batch,
+                              meta={"segment": handle.segment_name})
+        return result
+
     def _complete_remote(self, items: List[_Item], event: FlushEvent,
+                         handle: Optional[Any],
                          fut: "Future[Dict[str, np.ndarray]]") -> None:
         """Resolve one remotely-solved flush (runs on a pool callback
-        thread): failures fail the futures, successes feed the adaptive
-        observation loop and settle them."""
+        thread): failures release the transport handle and fail the
+        futures, successes feed the adaptive observation loop and
+        settle them."""
         with self._cond:
             claimed = self._pending_remote.pop(fut, None)
         if claimed is None:
-            return  # close() already swept and failed these items
+            # close() already swept and failed these items; give the
+            # segment back so the ring (or close) can reclaim it.
+            self._transport.release(handle)
+            return
         exc = fut.exception()
         if exc is not None:
+            self._transport.release(handle)
             self._fail(items, exc, event)
-        else:
-            out = fut.result()
-            self._observe(event, out.get("elapsed"))
-            self._settle(items, out, event)
+            return
+        try:
+            out = self._finalize(fut.result(), handle, event)
+        except BaseException as exc:  # noqa: BLE001 - futures carry it
+            try:
+                self._transport.release(handle)
+            except Exception:  # pragma: no cover - cleanup best-effort
+                pass
+            self._fail(items, exc, event)
+            return
+        self._observe(event, out.get("elapsed"))
+        self._settle(items, out, event)
 
     def _observe(self, event: FlushEvent,
                  elapsed: Optional[float]) -> None:
@@ -852,8 +916,10 @@ class JacobiService:
         ServiceStats
             Queue/throughput counters plus — when the service is
             adaptive — the per-key limit overrides and the applied
-            tuning trace (see :class:`ServiceStats`).
+            tuning trace, and the transport's data-plane counters
+            (see :class:`ServiceStats`).
         """
+        tstats = self._transport.stats()
         with self._cond:
             elapsed = (0.0 if self._first_submit is None
                        else self._clock() - self._first_submit)
@@ -888,7 +954,9 @@ class JacobiService:
                     kind: (self._solve_seconds[kind]
                            / self._solved_batches[kind]
                            if self._solved_batches[kind] else 0.0)
-                    for kind in KINDS})
+                    for kind in KINDS},
+                transport=tstats.name,
+                transport_counters=tstats.counters())
 
     def trace(self) -> EventTimeline:
         """Export the recorded per-request event timeline.
@@ -926,6 +994,7 @@ class JacobiService:
                 "max_queue": self._gate.max_queue,
                 "admission": self._gate.policy,
                 "default_deadline": self._gate.default_deadline,
+                "transport": self._transport.name,
                 "requests": self._next_request,
             }
         return self._tracer.timeline(source="service", meta=meta)
@@ -936,7 +1005,10 @@ class JacobiService:
         Overload-safe: if a worker process dies mid-flush (the pool
         reports itself broken), the stranded in-flight futures are
         failed with :class:`~concurrent.futures.process.BrokenProcessPool`
-        instead of being waited on forever.
+        instead of being waited on forever.  A service-owned transport
+        is closed last, unlinking every shared-memory segment still
+        allocated — including one a killed worker was holding — so no
+        ``/dev/shm`` space outlives the service.
         """
         with self._cond:
             if self._closed:
@@ -966,6 +1038,8 @@ class JacobiService:
                     self._fail(items, exc)
         if self._own_executor and self._executor is not None:
             self._executor.shutdown()
+        if self._own_transport:
+            self._transport.close()
 
     def __enter__(self) -> "JacobiService":
         return self

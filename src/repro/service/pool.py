@@ -160,28 +160,43 @@ def solve_batch_remote(payload: Dict[str, Any]) -> Dict[str, np.ndarray]:
         the worker when dispatched remotely) so the service's per-kind
         latency feedback reflects solve cost, not queueing or pickling
         — and ``worker``, the solving process's pid, which is what the
-        tracing layer uses for per-worker attribution.
+        tracing layer uses for per-worker attribution.  When the
+        payload is a shared-memory descriptor
+        (:func:`~repro.service.transport.open_payload`), the matrices
+        are read from the segment in place, the result arrays are
+        written back into it (:func:`~repro.service.transport.seal_result`),
+        and only the scalars cross the pipe.
         Convergence failures are reported per matrix (``converged``
         flags), never raised — the service decides what a miss means.
     """
     import time as _time
 
     from ..engine.batched import BatchedOneSidedJacobi
+    from .transport import open_payload, seal_result
 
-    ordering = get_ordering(payload["ordering"], payload["d"])
-    solver = BatchedOneSidedJacobi(ordering, tol=payload["tol"],
-                                   max_sweeps=payload["max_sweeps"])
-    t0 = _time.perf_counter()
-    res = solver.solve(payload["matrices"],
-                       compute_eigenvectors=payload["compute_eigenvectors"],
-                       raise_on_no_convergence=False)
-    elapsed = _time.perf_counter() - t0
-    return {"eigenvalues": res.eigenvalues,
-            "eigenvectors": res.eigenvectors,
-            "sweeps": res.sweeps,
-            "converged": res.converged,
-            "elapsed": elapsed,
-            "worker": os.getpid()}
+    payload, segment = open_payload(payload)
+    try:
+        ordering = get_ordering(payload["ordering"], payload["d"])
+        solver = BatchedOneSidedJacobi(ordering, tol=payload["tol"],
+                                       max_sweeps=payload["max_sweeps"])
+        t0 = _time.perf_counter()
+        res = solver.solve(
+            payload["matrices"],
+            compute_eigenvectors=payload["compute_eigenvectors"],
+            raise_on_no_convergence=False)
+        elapsed = _time.perf_counter() - t0
+        out = {"eigenvalues": res.eigenvalues,
+               "eigenvectors": res.eigenvectors,
+               "sweeps": res.sweeps,
+               "converged": res.converged,
+               "elapsed": elapsed,
+               "worker": os.getpid()}
+        return seal_result(out, segment)
+    finally:
+        if segment is not None:
+            # Drop the matrices view before unmapping the segment.
+            payload.clear()
+            segment.close()
 
 
 def solve_svd_batch_remote(payload: Dict[str, Any]) -> Dict[str, np.ndarray]:
@@ -203,23 +218,35 @@ def solve_svd_batch_remote(payload: Dict[str, Any]) -> Dict[str, np.ndarray]:
         Plain arrays (``U`` / ``S`` / ``Vt`` / ``sweeps`` /
         ``converged``) plus ``elapsed``, the solve's wall-clock seconds
         measured inside this call, and ``worker``, the solving
-        process's pid (per-worker trace attribution).  Convergence
-        misses are data (``converged`` flags), never raised.
+        process's pid (per-worker trace attribution).  Shared-memory
+        descriptors are handled exactly as in
+        :func:`solve_batch_remote` — inputs read and factors written
+        in place, scalars only on the pipe.  Convergence misses are
+        data (``converged`` flags), never raised.
     """
     import time as _time
 
     from ..engine.svd import BatchedOneSidedSVD
+    from .transport import open_payload, seal_result
 
-    solver = BatchedOneSidedSVD(tol=payload["tol"],
-                                max_sweeps=payload["max_sweeps"])
-    t0 = _time.perf_counter()
-    res = solver.solve(payload["matrices"],
-                       raise_on_no_convergence=False)
-    elapsed = _time.perf_counter() - t0
-    return {"U": res.U, "S": res.S, "Vt": res.Vt,
-            "sweeps": res.sweeps, "converged": res.converged,
-            "elapsed": elapsed,
-            "worker": os.getpid()}
+    payload, segment = open_payload(payload)
+    try:
+        solver = BatchedOneSidedSVD(tol=payload["tol"],
+                                    max_sweeps=payload["max_sweeps"])
+        t0 = _time.perf_counter()
+        res = solver.solve(payload["matrices"],
+                           raise_on_no_convergence=False)
+        elapsed = _time.perf_counter() - t0
+        out = {"U": res.U, "S": res.S, "Vt": res.Vt,
+               "sweeps": res.sweeps, "converged": res.converged,
+               "elapsed": elapsed,
+               "worker": os.getpid()}
+        return seal_result(out, segment)
+    finally:
+        if segment is not None:
+            # Drop the matrices view before unmapping the segment.
+            payload.clear()
+            segment.close()
 
 
 def _warm_worker(specs: Tuple[Tuple[str, int], ...],
@@ -329,8 +356,12 @@ class ShardedExecutor:
         future: "Future[Any]" = Future()
         try:
             future.set_result(fn(*args))
-        except BaseException as exc:  # noqa: BLE001 - future carries it
+        except Exception as exc:
             future.set_exception(exc)
+        except BaseException:
+            # KeyboardInterrupt/SystemExit must reach the caller — a
+            # future nobody resolves would swallow the interrupt.
+            raise
         return future
 
     def map_ordered(self, fn: Callable[[Any], Any],
@@ -704,6 +735,14 @@ def run_svd_ensemble_sharded(shapes: Sequence[Tuple[int, int]],
 
 
 def default_worker_count() -> int:
-    """A sensible worker count for this machine (``os.cpu_count()``,
-    floored at 1) — what CLI callers get from ``--workers -1``."""
+    """A sensible worker count for this machine, floored at 1 — what
+    CLI callers get from ``--workers -1``.  Prefers the CPUs this
+    process may actually run on (``os.sched_getaffinity``) over the
+    raw ``os.cpu_count()``, so cpuset-restricted containers and CI
+    runners aren't oversubscribed."""
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return max(1, len(os.sched_getaffinity(0)))
+        except OSError:  # pragma: no cover - affinity query denied
+            pass
     return max(1, os.cpu_count() or 1)

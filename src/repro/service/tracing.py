@@ -3,7 +3,10 @@
 :class:`Tracer` is the service stack's single event sink.  Every
 instrumented component — the facade
 (:class:`~repro.service.api.JacobiService`), the batcher, the admission
-gate, the adaptive controller — holds an optional reference and calls
+gate, the adaptive controller, the batch transport (segment
+``"attached"``/``"detached"`` edges, see
+:data:`~repro.analysis.events.TRANSPORT_STAGES`) — holds an optional
+reference and calls
 :meth:`Tracer.emit` at each lifecycle edge; the tracer stamps a global
 sequence number and a timestamp from its injected clock and appends a
 :class:`~repro.analysis.events.TraceEvent` to a bounded ring buffer

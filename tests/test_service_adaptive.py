@@ -373,3 +373,106 @@ class TestNonAdaptiveRegression:
             assert np.array_equal(a.eigenvalues, b.eigenvalues)
             assert np.array_equal(a.eigenvectors, b.eigenvectors)
             assert a.sweeps == b.sweeps
+
+
+class _ManualExecutor:
+    """Pool stand-in whose futures the test resolves by hand, making
+    the dispatcher's sleep/wake behaviour observable: a dispatched
+    flush sits unresolved until the test computes it, exactly like a
+    busy worker process."""
+
+    uses_processes = True
+    broken = False
+
+    def __init__(self):
+        import threading
+
+        self.calls = []
+        self.auto = False  # teardown mode: resolve on submit
+        self._cond = threading.Condition()
+
+    def submit(self, fn, *args):
+        from concurrent.futures import Future
+
+        fut = Future()
+        with self._cond:
+            self.calls.append((fn, args, fut))
+            self._cond.notify_all()
+        if self.auto:
+            fut.set_result(fn(*args))
+        return fut
+
+    def wait_for_calls(self, n, timeout):
+        with self._cond:
+            return self._cond.wait_for(lambda: len(self.calls) >= n,
+                                       timeout)
+
+    def resolve_all(self):
+        """Compute every unresolved dispatched flush inline (runs the
+        service's completion callbacks on this thread)."""
+        with self._cond:
+            pending = [(fn, args, fut) for fn, args, fut in self.calls
+                       if not fut.done()]
+        for fn, args, fut in pending:
+            fut.set_result(fn(*args))
+
+    def shutdown(self, wait=True):
+        pass
+
+
+class TestRetuneWakesDispatcher:
+    """Regression (ISSUE 8): ``_observe`` must notify the service
+    condition when a retune shrinks a key's max_delay — a dispatcher
+    already sleeping on the *old* ``next_deadline()`` would otherwise
+    wait out the stale (longer) timeout, making the first post-retune
+    flush late by the old delay.  The normal completion path masks the
+    bug (``_settle`` runs right after ``_observe`` and also notifies),
+    so the test feeds the observation in directly, exactly as the
+    completion callback would."""
+
+    def test_shrunk_delay_wakes_sleeping_dispatcher(self):
+        import time
+
+        # Frozen fake clock: the dispatcher computes its wait timeout
+        # as next_deadline - clock(), so the queued item's deadline
+        # stands a full max_delay (5 real seconds) away and never
+        # drifts closer.  Only a condition notify can release the
+        # dispatcher early — which is exactly what the retune must do.
+        clock = FakeClock()
+        ex = _ManualExecutor()
+        key = ("eigen", 8, "degree4", 1)
+        svc = JacobiService(
+            d=1, max_batch=2, max_delay=5.0, adaptive=True,
+            tuning_window=1,
+            tuning_policy=lambda window, batch, delay, bounds:
+                (2, 0.0, "test-shrink"),
+            tuning_bounds=TuningBounds(min_batch=1, max_batch=16,
+                                       min_delay=0.0, max_delay=5.0),
+            executor=ex, clock=clock)
+        try:
+            fut = svc.submit(_mats(8, 1)[0])
+            # Give the dispatcher time to park on the stale 5-second
+            # deadline.  A real sleep, not a handshake: the service
+            # condition is the very thing under test, so the test
+            # cannot wait on it without tainting the result.
+            time.sleep(0.3)
+            assert not ex.calls  # still batching behind the old delay
+            # Feed a fabricated flush observation straight into the
+            # tuning loop, as the completion callback would after a
+            # solve.  The policy shrinks the key's delay to 0, so the
+            # queued item is now overdue — but only a notified
+            # dispatcher learns that before the stale timeout expires.
+            svc._observe(_event(key=key, cause="size", items=(0,),
+                                waited=0.0, limit_batch=2,
+                                limit_delay=5.0), 0.01)
+            assert ex.wait_for_calls(1, timeout=2.0), \
+                "dispatcher slept through the retune: the shrunk " \
+                "max_delay did not wake it off the stale deadline"
+            ex.resolve_all()
+            assert fut.result(timeout=10.0).converged
+        finally:
+            # Anything still queued dispatches during close-drain, so
+            # flip the executor to resolve-on-submit first.
+            ex.auto = True
+            ex.resolve_all()
+            svc.close()

@@ -7,6 +7,8 @@ rule is pinned here deterministically — no sleeps, no threads.
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import SimulationError
 from repro.service import MicroBatcher
@@ -147,3 +149,92 @@ class TestGroupsAndDrain:
             mb.submit("k", x)
         (event,) = mb.drain()
         assert event.items == tuple("abcde")
+
+# ---------------------------------------------------------------------------
+# Property test (ISSUE 8): accounting invariants under arbitrary
+# interleavings of submit / advance / pop_ready / pop_expired / drain.
+# ---------------------------------------------------------------------------
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("submit"), st.integers(0, 2),
+                  st.one_of(st.none(), st.floats(0.0, 8.0))),
+        st.tuples(st.just("advance"), st.floats(0.0, 3.0)),
+        st.tuples(st.just("pop_ready")),
+        st.tuples(st.just("pop_expired")),
+        st.tuples(st.just("drain")),
+    ),
+    max_size=60)
+
+
+@given(_ops)
+@settings(max_examples=120, deadline=None)
+def test_batcher_accounting_invariants(ops):
+    """Whatever the interleaving, the batcher must account for every
+    item exactly once (flushed or shed, never both, never lost), keep
+    arrival order within each key, only shed items actually past their
+    expiry, and never exceed the batch-size ceiling.  These are the
+    invariants the service's futures bookkeeping stands on: a dropped
+    or doubled item is a hung or double-settled request."""
+    clock = FakeClock()
+    mb = MicroBatcher(max_batch=3, max_delay=5.0, clock=clock)
+    next_id = 0
+    submitted = {key: [] for key in range(3)}   # key -> ids, arrival order
+    id_key = {}
+    expiry = {}
+    flushed = {key: [] for key in range(3)}
+    expired_ids = set()
+    events = []
+
+    def record(new_events):
+        events.extend(new_events)
+        for ev in new_events:
+            flushed[ev.key].extend(ev.items)
+
+    for op in ops:
+        if op[0] == "submit":
+            _, key, offset = op
+            exp = None if offset is None else clock.t + offset
+            id_key[next_id] = key
+            expiry[next_id] = exp
+            submitted[key].append(next_id)
+            mb.submit(key, next_id, expires=exp)
+            next_id += 1
+        elif op[0] == "advance":
+            clock.advance(op[1])
+        elif op[0] == "pop_ready":
+            record(mb.pop_ready())
+        elif op[0] == "pop_expired":
+            for key, item in mb.pop_expired():
+                # Only genuinely stale items may be shed, and they come
+                # back under the key they were queued with.
+                assert expiry[item] is not None
+                assert expiry[item] <= clock.t
+                assert id_key[item] == key
+                expired_ids.add(item)
+        else:
+            record(mb.drain())
+
+    record(mb.drain())
+    assert mb.pending() == 0
+    assert mb.next_deadline() is None
+
+    # Exactly once: every submitted id is flushed or shed, never both,
+    # never lost, never duplicated.
+    out = sorted([i for ids in flushed.values() for i in ids]
+                 + list(expired_ids))
+    assert out == list(range(next_id))
+    # Shed items never ride a flush.
+    for ids in flushed.values():
+        assert expired_ids.isdisjoint(ids)
+    # Arrival order survives within each key (shedding may remove
+    # items mid-queue but must not reorder the survivors).
+    for key in range(3):
+        assert flushed[key] == [i for i in submitted[key]
+                                if i not in expired_ids]
+    # Release discipline: the size ceiling is hard, causes are from the
+    # documented set, and batch ids increase strictly.
+    assert all(1 <= ev.size <= 3 for ev in events)
+    assert all(ev.cause in ("size", "deadline", "forced")
+               for ev in events)
+    assert all(a.batch < b.batch for a, b in zip(events, events[1:]))

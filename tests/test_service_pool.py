@@ -106,6 +106,39 @@ class TestShardedExecutorInline:
         with ShardedExecutor(1) as ex:
             assert ex.map_ordered(lambda x: -x, [3, 1, 2]) == [-3, -1, -2]
 
+    def test_inline_keyboard_interrupt_propagates(self):
+        """Regression (ISSUE 8): the inline arm used to stuff *every*
+        BaseException into the returned future, so a Ctrl-C during an
+        inline solve was silently parked on a future the caller might
+        never resolve.  Non-Exception BaseExceptions must re-raise."""
+        def interrupt(_):
+            raise KeyboardInterrupt
+
+        with ShardedExecutor(1) as ex:
+            with pytest.raises(KeyboardInterrupt):
+                ex.submit(interrupt, 1)
+
+    def test_inline_system_exit_propagates(self):
+        def leave(_):
+            raise SystemExit(3)
+
+        with ShardedExecutor(0) as ex:
+            with pytest.raises(SystemExit):
+                ex.submit(leave, 1)
+
+    def test_inline_plain_exception_stays_on_future(self):
+        """The flip side: ordinary Exceptions still ride the future —
+        callers handle them per item, and the dispatcher must never
+        die on one bad batch."""
+        def boom(_):
+            raise RuntimeError("per-item failure")
+
+        with ShardedExecutor(1) as ex:
+            fut = ex.submit(boom, 1)
+            assert fut.done()
+            with pytest.raises(RuntimeError, match="per-item failure"):
+                fut.result()
+
     def test_stats_count_inline_dispatches(self):
         ex = ShardedExecutor(1)
         ex.map_ordered(lambda x: x, [1, 2, 3])
@@ -130,6 +163,37 @@ class TestWarmup:
 
     def test_default_worker_count_positive(self):
         assert default_worker_count() >= 1
+
+
+class TestDefaultWorkerCount:
+    """Regression (ISSUE 8): ``default_worker_count`` used to read
+    ``os.cpu_count()``, oversubscribing cpuset-restricted containers —
+    it must prefer the scheduling affinity mask when the platform has
+    one."""
+
+    def test_prefers_affinity_over_cpu_count(self, monkeypatch):
+        import repro.service.pool as pool_mod
+
+        monkeypatch.setattr(pool_mod.os, "sched_getaffinity",
+                            lambda pid: {0, 2, 5}, raising=False)
+        monkeypatch.setattr(pool_mod.os, "cpu_count", lambda: 64)
+        assert default_worker_count() == 3
+
+    def test_falls_back_to_cpu_count_without_affinity(self, monkeypatch):
+        import repro.service.pool as pool_mod
+
+        monkeypatch.delattr(pool_mod.os, "sched_getaffinity",
+                            raising=False)
+        monkeypatch.setattr(pool_mod.os, "cpu_count", lambda: 7)
+        assert default_worker_count() == 7
+
+    def test_floors_at_one(self, monkeypatch):
+        import repro.service.pool as pool_mod
+
+        monkeypatch.setattr(pool_mod.os, "sched_getaffinity",
+                            lambda pid: set(), raising=False)
+        monkeypatch.setattr(pool_mod.os, "cpu_count", lambda: None)
+        assert default_worker_count() == 1
 
 
 class TestRunEnsembleSharded:
