@@ -28,6 +28,7 @@ from .events import (
     comm_trace_to_timeline,
     request_spans,
     stage_percentiles,
+    tenant_breakdown,
     validate_lifecycles,
     worker_utilisation,
 )
@@ -85,7 +86,7 @@ __all__ = [
     "TRACE_SCHEMA", "TraceEvent", "EventTimeline",
     "comm_trace_to_timeline", "comm_records_from_timeline",
     "validate_lifecycles", "request_spans", "stage_percentiles",
-    "worker_utilisation",
+    "worker_utilisation", "tenant_breakdown",
     "DEFAULT_SVD_SHAPES", "SvdBenchRow", "compute_svd_bench",
     "render_svd_bench", "parse_shapes",
 ]

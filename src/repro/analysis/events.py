@@ -53,6 +53,7 @@ __all__ = [
     "request_spans",
     "stage_percentiles",
     "worker_utilisation",
+    "tenant_breakdown",
     "comm_trace_to_timeline",
     "comm_records_from_timeline",
 ]
@@ -130,6 +131,12 @@ class TraceEvent:
         Worker attribution (stringified pid) for ``solved`` events of
         pool-dispatched batches; ``"inline"`` for dispatcher-thread
         solves; ``None`` elsewhere.
+    tenant:
+        Tenant label of the request under multi-tenant accounting (see
+        :mod:`repro.service.gateway`); ``None`` for single-tenant
+        traffic and non-request events.  Omitted from the serialised
+        form when ``None``, so the ``repro-trace/v1`` schema is
+        unchanged for existing traces.
     meta:
         Stage-specific details (flush cause, elapsed solve seconds,
         error type, ...).  Values must be JSON-serialisable.
@@ -143,6 +150,7 @@ class TraceEvent:
     key: Optional[str] = None
     batch: Optional[int] = None
     worker: Optional[str] = None
+    tenant: Optional[str] = None
     meta: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -150,7 +158,8 @@ class TraceEvent:
         are omitted)."""
         out: Dict[str, Any] = {"seq": self.seq, "t": self.t,
                                "stage": self.stage}
-        for name in ("request", "kind", "key", "batch", "worker"):
+        for name in ("request", "kind", "key", "batch", "worker",
+                     "tenant"):
             value = getattr(self, name)
             if value is not None:
                 out[name] = value
@@ -166,6 +175,7 @@ class TraceEvent:
                    request=data.get("request"),
                    kind=data.get("kind"), key=data.get("key"),
                    batch=data.get("batch"), worker=data.get("worker"),
+                   tenant=data.get("tenant"),
                    meta=dict(data.get("meta", {})))
 
 
@@ -204,6 +214,17 @@ class EventTimeline:
         for ev in self.events:
             if ev.request is not None:
                 out.setdefault(ev.request, []).append(ev)
+        return out
+
+    def by_tenant(self) -> Dict[str, List[TraceEvent]]:
+        """Events grouped per tenant label, each group in ``seq``
+        order (events with ``tenant=None`` are excluded) — the
+        timeline slice one tenant's requests drew on a shared
+        service."""
+        out: Dict[str, List[TraceEvent]] = {}
+        for ev in self.events:
+            if ev.tenant is not None:
+                out.setdefault(ev.tenant, []).append(ev)
         return out
 
     def to_dict(self) -> Dict[str, Any]:
@@ -417,6 +438,73 @@ def worker_utilisation(timeline: EventTimeline
         row["items"] = float(items.get(worker, 0))
         row["utilisation"] = (row["busy"] / duration
                               if duration > 0 else 0.0)
+    return out
+
+
+def tenant_breakdown(timeline: EventTimeline,
+                     percentiles: Tuple[float, ...] = (50.0, 99.0)
+                     ) -> Dict[str, Dict[str, Any]]:
+    """Per-tenant request accounting over a shared timeline.
+
+    A request belongs to the tenant stamped on its events (its first
+    tenant-carrying event wins; requests without one are excluded).
+    Gateway-level ``"throttled"`` events — quota denials that never
+    became service requests — are counted per tenant as well, so the
+    breakdown shows both who got service and who was held back.
+
+    Parameters
+    ----------
+    timeline:
+        A service timeline with ``tenant=`` attributes (see
+        :mod:`repro.service.gateway`).
+    percentiles:
+        Which total-latency percentiles to report per tenant.
+
+    Returns
+    -------
+    dict
+        ``tenant -> {"requests", "outcomes", "throttled", "total"}`` —
+        service requests attributed to the tenant, their terminal
+        outcome counts (``resolved`` / ``rejected`` / ``shed`` /
+        ``failed`` / ``open``), gateway throttles, and the solved-only
+        (``resolved``) total-latency distribution ``{"count", "mean",
+        "p50", "p99", ...}`` in seconds (absent when the tenant had no
+        resolved request).
+    """
+    tenant_of: Dict[int, str] = {}
+    throttled: Dict[str, int] = {}
+    for ev in timeline.events:
+        if ev.tenant is None:
+            continue
+        if ev.request is not None:
+            tenant_of.setdefault(ev.request, ev.tenant)
+        elif ev.stage == "throttled":
+            throttled[ev.tenant] = throttled.get(ev.tenant, 0) + 1
+
+    def _fresh() -> Dict[str, Any]:
+        return {"requests": 0, "outcomes": {}, "throttled": 0}
+
+    out: Dict[str, Dict[str, Any]] = {}
+    totals: Dict[str, List[float]] = {}
+    spans = request_spans(timeline)
+    for req, tenant in tenant_of.items():
+        row = out.setdefault(tenant, _fresh())
+        row["requests"] += 1
+        span = spans.get(req)
+        if span is None:
+            continue
+        outcome = span["outcome"]
+        row["outcomes"][outcome] = row["outcomes"].get(outcome, 0) + 1
+        if outcome == "resolved" and span["total"] is not None:
+            totals.setdefault(tenant, []).append(float(span["total"]))
+    for tenant, count in throttled.items():
+        out.setdefault(tenant, _fresh())["throttled"] = count
+    for tenant, values in totals.items():
+        arr = np.asarray(values)
+        total = {"count": float(arr.size), "mean": float(arr.mean())}
+        for p in percentiles:
+            total[f"p{p:g}"] = float(np.percentile(arr, p))
+        out[tenant]["total"] = total
     return out
 
 

@@ -11,8 +11,8 @@ backlog exactly like a real queue) and measures, per item, the time
 from *scheduled arrival* to future resolution — which charges
 coordinated omission to the service, not the generator.
 
-Five traffic shapes are bundled, chosen to pull the batching knobs in
-opposite directions:
+Six traffic shapes are bundled, chosen to pull the batching and QoS
+knobs in opposite directions:
 
 * ``trickle`` — sparse arrivals; batches never fill, so a fixed
   ``max_delay`` is pure added latency;
@@ -23,7 +23,10 @@ opposite directions:
 * ``mixed`` — interleaved eigen and SVD submissions, exercising both
   traffic classes at once;
 * ``overload`` — sustained arrivals *above* solve capacity, exercising
-  the admission layer rather than the batching knobs.
+  the admission layer rather than the batching knobs;
+* ``tenants`` — one noisy neighbour flooding many small tenants
+  through the :class:`~repro.service.gateway.AsyncGateway`, exercising
+  per-tenant quotas and priorities rather than the batching knobs.
 
 :func:`compute_load_bench` replays every scenario against each fixed
 setting and against the adaptive controller (same seeded matrices, same
@@ -50,6 +53,7 @@ and would make an overloaded service look absurdly fast.
 
 from __future__ import annotations
 
+import asyncio
 import json
 import threading
 import time
@@ -58,10 +62,15 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import QueueFull, ShedError, SimulationError
+from ..errors import QueueFull, QuotaExceeded, ShedError, SimulationError
 from ..jacobi.convergence import DEFAULT_TOL
 from ..jacobi.onesided import make_symmetric_test_matrix
-from ..service import JacobiService, TuningBounds
+from ..service import (
+    AsyncGateway,
+    GatewayConfig,
+    JacobiService,
+    TuningBounds,
+)
 from .events import EventTimeline
 from .report import render_table
 
@@ -75,6 +84,9 @@ __all__ = [
     "ADAPTIVE_BOUNDS",
     "AdmissionSetting",
     "OVERLOAD_SETTINGS",
+    "TENANTS_NOISY",
+    "TENANTS_SMALL",
+    "TENANTS_QOS",
     "LoadResult",
     "TRACE_BUNDLE_SCHEMA",
     "build_trace",
@@ -83,6 +95,7 @@ __all__ = [
     "replay_traced",
     "compute_load_bench",
     "render_load_bench",
+    "render_tenant_bench",
     "results_to_json",
     "arrivals_from_timeline",
     "outcomes_from_timeline",
@@ -109,6 +122,10 @@ class Arrival:
         :meth:`~repro.service.api.JacobiService.submit` (``None`` =
         the service default) — carried so a trace-driven replay
         reproduces recorded deadlines.
+    tenant:
+        Tenant label of a multi-tenant trace (``None`` = untenanted).
+        The ``tenants`` scenario routes tenanted arrivals through an
+        :class:`~repro.service.gateway.AsyncGateway`.
     """
 
     at: float
@@ -116,6 +133,7 @@ class Arrival:
     n: int
     m: int
     deadline: Optional[float] = None
+    tenant: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -205,6 +223,43 @@ def _overload(items: int, rng: np.random.Generator) -> List[Arrival]:
                     kind="eigen", n=32, m=32) for k in range(items)]
 
 
+#: The multi-tenant cast: one flooding neighbour ...
+TENANTS_NOISY = "noisy"
+#: ... and several small, well-behaved tenants.
+TENANTS_SMALL: Tuple[str, ...] = ("small0", "small1", "small2")
+#: Noisy-neighbour flood shape: bursts of this many matrices ...
+TENANTS_BURST = 8
+#: ... every this many seconds.
+TENANTS_PERIOD = 0.03
+#: Share of the trace the noisy neighbour fires (the rest is split
+#: round-robin over the small tenants).
+TENANTS_NOISY_SHARE = 0.75
+#: The QoS knobs the ``tenants`` scenario's gated row applies to the
+#: noisy neighbour: a tight token-bucket quota plus bottom priority.
+TENANTS_QOS: Dict[str, Dict[str, Any]] = {
+    TENANTS_NOISY: {"rate": 20.0, "burst": 4, "priority": "bronze"},
+}
+
+
+def _tenants(items: int, rng: np.random.Generator) -> List[Arrival]:
+    """One noisy neighbour against many small tenants, all on the same
+    traffic class (16x16 eigen, one batch key): the noisy tenant fires
+    bursts well above its fair share while the small tenants trickle —
+    whether the smalls' latency survives is a QoS question, not a
+    batching one."""
+    noisy_items = int(items * TENANTS_NOISY_SHARE)
+    out = [Arrival(at=(k // TENANTS_BURST) * TENANTS_PERIOD,
+                   kind="eigen", n=16, m=16, tenant=TENANTS_NOISY)
+           for k in range(noisy_items)]
+    t = 0.0
+    for k in range(items - noisy_items):
+        t += float(rng.exponential(0.01))
+        out.append(Arrival(
+            at=t, kind="eigen", n=16, m=16,
+            tenant=TENANTS_SMALL[k % len(TENANTS_SMALL)]))
+    return sorted(out, key=lambda a: a.at)
+
+
 #: The bundled scenarios, in report order.
 SCENARIOS: Tuple[Scenario, ...] = (
     Scenario("trickle",
@@ -224,6 +279,10 @@ SCENARIOS: Tuple[Scenario, ...] = (
              "sustained arrivals above solve capacity; admission "
              "policies vs the unbounded baseline",
              96, _overload),
+    Scenario("tenants",
+             "one noisy neighbour floods many small tenants; gateway "
+             "QoS vs the ungated baseline",
+             96, _tenants),
 )
 
 
@@ -348,8 +407,14 @@ class LoadResult:
         capped at ``max_queue``.
     outcomes:
         Per-arrival outcome in trace order (``"solved"`` /
-        ``"rejected"`` / ``"shed"`` / ``"failed"``) — what the
-        record->replay determinism tests compare.
+        ``"rejected"`` / ``"shed"`` / ``"failed"``, plus
+        ``"throttled"`` on gateway rows) — what the record->replay
+        determinism tests compare.
+    tenants:
+        Per-tenant accounting of a ``tenants``-scenario row: gateway
+        ledger counters plus the tenant's solved-only post-warm-up
+        latency sample (``latencies_ms`` with its ``p50_ms`` /
+        ``p99_ms``).  Empty for untenanted rows.
     """
 
     scenario: str
@@ -370,6 +435,7 @@ class LoadResult:
     peak_backlog: int = 0
     backlog: List[int] = field(default_factory=list)
     outcomes: List[str] = field(default_factory=list)
+    tenants: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
 
 def build_trace(scenario: Scenario, items: Optional[int] = None,
@@ -745,6 +811,12 @@ def compute_load_bench(scenario_names: Optional[Sequence[str]] = None,
                                             trace_sink=trace_sink,
                                             transport=transport))
             continue
+        if scenario.name == "tenants":
+            results.extend(_replay_tenants(arrivals, matrices,
+                                           warmup_frac=warmup_frac,
+                                           trace_sink=trace_sink,
+                                           transport=transport))
+            continue
         for setting in FIXED_SETTINGS:
             results.append(_run_setting(
                 arrivals, matrices, scenario=scenario.name,
@@ -792,6 +864,150 @@ def _replay_overload(arrivals: Sequence[Arrival],
     return results
 
 
+#: Batching limits shared by every tenants replay — all three rows ride
+#: one traffic class (16x16 eigen), so QoS, not batching, is the
+#: variable under test.
+TENANTS_BATCH = 8
+TENANTS_DELAY = 0.01
+
+
+def _replay_tenants_row(arrivals: Sequence[Arrival],
+                        matrices: Sequence[np.ndarray], *, label: str,
+                        config: Optional[GatewayConfig],
+                        warmup_frac: float,
+                        trace_sink: Optional[List[Dict[str, Any]]],
+                        transport: Optional[str]) -> LoadResult:
+    """Open-loop asyncio replay of one tenanted trace through an
+    :class:`~repro.service.gateway.AsyncGateway` over one service."""
+    n = len(arrivals)
+    done_at: List[Optional[float]] = [None] * n
+    outcomes: List[str] = ["failed"] * n
+    trace = trace_sink is not None
+    with JacobiService(d=2, max_batch=TENANTS_BATCH,
+                       max_delay=TENANTS_DELAY, transport=transport,
+                       trace=trace) as svc:
+        gateway = AsyncGateway(svc, config)
+        start = [0.0]
+
+        async def _one(i: int, a: Arrival, A: np.ndarray) -> None:
+            try:
+                await gateway.submit(A, kind=a.kind,
+                                     tenant=a.tenant or "default",
+                                     deadline=a.deadline)
+                outcomes[i] = "solved"
+            except QuotaExceeded:
+                outcomes[i] = "throttled"
+            except QueueFull:
+                outcomes[i] = "rejected"
+            except ShedError:
+                outcomes[i] = "shed"
+            except Exception:
+                outcomes[i] = "failed"
+            done_at[i] = time.monotonic()
+
+        async def _drive() -> None:
+            start[0] = time.monotonic()
+            tasks = []
+            for i, (a, A) in enumerate(zip(arrivals, matrices)):
+                lag = start[0] + a.at - time.monotonic()
+                if lag > 0:
+                    await asyncio.sleep(lag)
+                tasks.append(asyncio.ensure_future(_one(i, a, A)))
+            await asyncio.gather(*tasks)
+
+        asyncio.run(_drive())
+        gw_stats = gateway.stats()
+        stats = svc.stats()
+    timeline = svc.trace() if trace else None
+    if trace_sink is not None:
+        trace_sink.append({
+            "scenario": "tenants", "label": label,
+            "settings": {"d": 2, "max_batch": TENANTS_BATCH,
+                         "max_delay": TENANTS_DELAY,
+                         "transport": transport},
+            "timeline": timeline})
+
+    t0 = start[0]
+    skip = int(np.ceil(warmup_frac * n)) if n > 1 else 0
+    latency_ms: Dict[str, List[float]] = {}
+    all_sample: List[float] = []
+    for i, a in enumerate(arrivals):
+        if outcomes[i] != "solved" or i < skip:
+            continue
+        ms = (done_at[i] - (t0 + a.at)) * 1e3
+        latency_ms.setdefault(a.tenant or "default", []).append(ms)
+        all_sample.append(ms)
+
+    def _pcts(values: Sequence[float]) -> Dict[str, float]:
+        arr = np.asarray(values)
+        if not arr.size:
+            return {"p50_ms": 0.0, "p99_ms": 0.0}
+        return {"p50_ms": float(np.percentile(arr, 50)),
+                "p99_ms": float(np.percentile(arr, 99))}
+
+    tenants: Dict[str, Dict[str, Any]] = {}
+    for tenant, ts in gw_stats.tenants.items():
+        sample = latency_ms.get(tenant, [])
+        row = {"submitted": ts.submitted, "throttled": ts.throttled,
+               "rejected": ts.rejected, "shed": ts.shed,
+               "completed": ts.completed, "failed": ts.failed,
+               "cancelled": ts.cancelled, "measured": len(sample),
+               "latencies_ms": [round(v, 3) for v in sample]}
+        row.update(_pcts(sample))
+        tenants[tenant] = row
+
+    solved = outcomes.count("solved")
+    resolved = [t for t in done_at if t is not None]
+    makespan = (max(resolved) - t0 - arrivals[0].at) if resolved else 0.0
+    sample_arr = np.asarray(all_sample)
+    return LoadResult(
+        scenario="tenants", label=label, items=n,
+        measured=int(sample_arr.size),
+        p50_ms=(float(np.percentile(sample_arr, 50))
+                if sample_arr.size else 0.0),
+        p99_ms=(float(np.percentile(sample_arr, 99))
+                if sample_arr.size else 0.0),
+        throughput=(solved / makespan if makespan > 0 else 0.0),
+        flushes=dict(stats.flushes),
+        mean_batch_size=stats.mean_batch_size,
+        retunes=len(stats.tuning),
+        solved=solved,
+        rejected=outcomes.count("rejected")
+        + outcomes.count("throttled"),
+        shed=outcomes.count("shed"),
+        outcomes=outcomes, tenants=tenants)
+
+
+def _replay_tenants(arrivals: Sequence[Arrival],
+                    matrices: Sequence[np.ndarray],
+                    warmup_frac: float,
+                    trace_sink: Optional[List[Dict[str, Any]]] = None,
+                    transport: Optional[str] = None,
+                    ) -> List[LoadResult]:
+    """The tenants scenario's grid: the small tenants replayed alone
+    (their latency floor), the full trace through an ungated gateway
+    (the noisy-neighbour baseline), and the full trace with
+    :data:`TENANTS_QOS` applied — quota plus bottom priority on the
+    noisy tenant, which is the isolation the tenants benchmark pins."""
+    small = [(a, A) for a, A in zip(arrivals, matrices)
+             if a.tenant != TENANTS_NOISY]
+    rows = [_replay_tenants_row(
+        [a for a, _ in small], [A for _, A in small],
+        label="small alone", config=None, warmup_frac=warmup_frac,
+        trace_sink=trace_sink, transport=transport)]
+    rows.append(_replay_tenants_row(
+        arrivals, matrices, label="no QoS", config=None,
+        warmup_frac=warmup_frac, trace_sink=trace_sink,
+        transport=transport))
+    rows.append(_replay_tenants_row(
+        arrivals, matrices,
+        label="QoS noisy r=20 b=4 bronze",
+        config=GatewayConfig(tenants=TENANTS_QOS),
+        warmup_frac=warmup_frac, trace_sink=trace_sink,
+        transport=transport))
+    return rows
+
+
 def render_load_bench(rows: Sequence[LoadResult]) -> str:
     """ASCII table of a load-bench run.
 
@@ -818,6 +1034,39 @@ def render_load_bench(rows: Sequence[LoadResult]) -> str:
          "p99 ms", "solves/s", "flushes s/d/f", "mean b", "peak q",
          "retunes"],
         body, title="Micro-batching under live load: fixed vs adaptive")
+
+
+def render_tenant_bench(rows: Sequence[LoadResult]) -> str:
+    """ASCII table of the per-tenant accounting of ``tenants`` rows.
+
+    Parameters
+    ----------
+    rows:
+        A :func:`compute_load_bench` result list; rows without
+        per-tenant data are skipped, so passing a mixed-scenario run
+        is fine.
+
+    Returns
+    -------
+    str
+        One row per (setting, tenant), or an empty string when no row
+        carried per-tenant data.
+    """
+    body = []
+    for r in rows:
+        for tenant in sorted(r.tenants):
+            t = r.tenants[tenant]
+            body.append([
+                r.label, tenant, t["submitted"],
+                f"{t['completed']}/{t['throttled']}"
+                f"/{t['rejected']}/{t['shed']}",
+                f"{t['p50_ms']:,.1f}", f"{t['p99_ms']:,.1f}"])
+    if not body:
+        return ""
+    return render_table(
+        ["setting", "tenant", "subs", "ok/thr/rej/shed", "p50 ms",
+         "p99 ms"],
+        body, title="Per-tenant QoS under a noisy neighbour")
 
 
 def results_to_json(rows: Sequence[LoadResult], *, seed: int,
@@ -893,7 +1142,8 @@ def arrivals_from_timeline(timeline: EventTimeline) -> List[Arrival]:
                 f"matrix shape (meta keys {sorted(ev.meta)})")
         out.append(Arrival(at=ev.t - base, kind=ev.kind or "eigen",
                            n=int(ev.meta["n"]), m=int(ev.meta["m"]),
-                           deadline=ev.meta.get("deadline")))
+                           deadline=ev.meta.get("deadline"),
+                           tenant=ev.tenant))
     return out
 
 

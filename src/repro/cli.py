@@ -105,6 +105,7 @@ def _cmd_load_bench(args: argparse.Namespace) -> int:
         compute_load_bench,
         outcomes_from_timeline,
         render_load_bench,
+        render_tenant_bench,
         replay_recorded,
         results_to_json,
         trace_bundle_to_json,
@@ -141,6 +142,10 @@ def _cmd_load_bench(args: argparse.Namespace) -> int:
                               seed=args.seed, warmup_frac=args.warmup,
                               trace_sink=sink, transport=args.transport)
     print(render_load_bench(rows))
+    tenant_table = render_tenant_bench(rows)
+    if tenant_table:
+        print()
+        print(tenant_table)
     print(f"\n(seed: {args.seed}, warm-up excluded from percentiles: "
           f"{args.warmup:.0%}, transport: "
           f"{args.transport or 'pickle'}; latency is "
@@ -168,6 +173,7 @@ def _cmd_trace_report(args: argparse.Namespace) -> int:
     from .analysis.events import (
         EventTimeline,
         stage_percentiles,
+        tenant_breakdown,
         validate_lifecycles,
         worker_utilisation,
     )
@@ -202,6 +208,23 @@ def _cmd_trace_report(args: argparse.Namespace) -> int:
             print(render_table(
                 ["worker", "batches", "items", "busy ms", "util"],
                 ubody, title="per-worker utilisation"))
+        tenants = tenant_breakdown(timeline)
+        if tenants:
+            tbody = []
+            for tenant in sorted(tenants):
+                row = tenants[tenant]
+                total = row.get("total")
+                tbody.append([
+                    tenant, row["requests"], row["throttled"],
+                    " ".join(f"{k}={v}" for k, v in
+                             sorted(row["outcomes"].items())) or "-",
+                    (f"{total['p50'] * 1e3:,.2f}" if total else "-"),
+                    (f"{total['p99'] * 1e3:,.2f}" if total else "-")])
+            print()
+            print(render_table(
+                ["tenant", "reqs", "throttled", "outcomes", "p50 ms",
+                 "p99 ms"],
+                tbody, title="per-tenant breakdown"))
         print()
         print(render_worker_timeline(timeline, width=args.width))
         requests = {ev.request for ev in timeline.events
@@ -376,12 +399,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     lb = sub.add_parser("load-bench",
                         help="open-loop load scenarios: fixed vs "
-                             "adaptive micro-batching, plus admission "
-                             "control under overload")
+                             "adaptive micro-batching, admission "
+                             "control under overload, and multi-tenant "
+                             "QoS under a noisy neighbour")
     lb.add_argument("--scenarios", default=None,
                     help="comma-separated scenario names (default: all; "
                          "known: trickle, bursty, bimodal, mixed, "
-                         "overload)")
+                         "overload, tenants)")
     lb.add_argument("--items", type=int, default=None,
                     help="submissions per scenario (default: per-scenario "
                          "sizes)")
@@ -412,8 +436,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     tr = sub.add_parser("trace-report",
                         help="analyse a recorded trace: per-stage "
-                             "latency percentiles, worker utilisation "
-                             "and a worker-usage Gantt")
+                             "latency percentiles, worker utilisation, "
+                             "a per-tenant breakdown and a worker-usage "
+                             "Gantt")
     tr.add_argument("path",
                     help="trace JSON: a load-bench --trace-out bundle "
                          "or a single exported timeline")

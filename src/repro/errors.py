@@ -19,6 +19,7 @@ __all__ = [
     "AdmissionError",
     "QueueFull",
     "ShedError",
+    "QuotaExceeded",
 ]
 
 
@@ -108,3 +109,11 @@ class ShedError(AdmissionError):
     """A queued item's per-request deadline lapsed before its flush, so
     the service shed it: the future resolves with this error instead of
     the item occupying a batch."""
+
+
+class QuotaExceeded(AdmissionError):
+    """The multi-tenant gateway throttled a submission: the tenant's
+    token bucket was empty (rate/burst quota spent), so the request was
+    turned away before it could reach the shared service's queue.  Like
+    every admission outcome this decides *whether* work runs, never
+    *how*."""

@@ -40,6 +40,14 @@ usable alone:
   micro-batches, ``solve_many``, queue/throughput stats per kind,
   ``adaptive=True`` self-tuning batching, and bounded admission
   (``max_queue`` / ``admission`` / ``default_deadline``).
+* :mod:`repro.service.tenancy` / :mod:`repro.service.gateway` — the
+  multi-tenant control plane: :class:`AsyncGateway` fronts one shared
+  service for many tenants with per-tenant :class:`TokenBucket`
+  quotas, weighted :data:`PRIORITY_CLASSES` headroom over the
+  admission bound, deterministic scoped configuration
+  (:class:`GatewayConfig`: request > tenant > global), per-tenant
+  ledgers (:meth:`AsyncGateway.stats`) and ``tenant=``-stamped trace
+  events.
 
 Results are bit-identical to the in-process engines — and through them
 to the sequential per-matrix solvers (``ParallelOneSidedJacobi`` for
@@ -48,7 +56,7 @@ count, shard size and batching schedule.  Parallelism here is purely a
 throughput knob, never an accuracy trade.
 """
 
-from ..errors import AdmissionError, QueueFull, ShedError
+from ..errors import AdmissionError, QueueFull, QuotaExceeded, ShedError
 from .adaptive import (
     AdaptiveController,
     HysteresisPolicy,
@@ -59,6 +67,14 @@ from .adaptive import (
 from .admission import ADMISSION_POLICIES, AdmissionDecision, AdmissionGate
 from .api import KINDS, JacobiService, ServiceStats, SolveResult, SvdResult
 from .batcher import FlushEvent, MicroBatcher
+from .gateway import AsyncGateway, GatewayStats, TenantStats
+from .tenancy import (
+    GLOBAL_DEFAULTS,
+    PRIORITY_CLASSES,
+    GatewayConfig,
+    ResolvedTenantConfig,
+    TokenBucket,
+)
 from .tracing import (
     DEFAULT_TRACE_CAPACITY,
     NULL_TRACER,
@@ -96,6 +112,7 @@ __all__ = [
     "AdmissionError",
     "AdmissionGate",
     "QueueFull",
+    "QuotaExceeded",
     "ShedError",
     "KINDS",
     "JacobiService",
@@ -104,6 +121,14 @@ __all__ = [
     "SvdResult",
     "FlushEvent",
     "MicroBatcher",
+    "AsyncGateway",
+    "GatewayStats",
+    "TenantStats",
+    "GLOBAL_DEFAULTS",
+    "PRIORITY_CLASSES",
+    "GatewayConfig",
+    "ResolvedTenantConfig",
+    "TokenBucket",
     "AdaptiveController",
     "HysteresisPolicy",
     "Observation",

@@ -180,8 +180,11 @@ class AdmissionGate:
         Parameters
         ----------
         deadline:
-            The caller's per-request deadline in seconds from now
-            (``None`` falls back to ``default_deadline``).
+            The caller's per-request deadline in seconds from now.
+            ``None`` falls back to ``default_deadline``; when both are
+            set the *tighter* (smaller) of the two wins — a per-request
+            override can only shorten the gate-wide deadline, never
+            extend an item's life past the service's shed policy.
         now:
             Clock override (defaults to the injected clock).
 
@@ -192,12 +195,16 @@ class AdmissionGate:
             :meth:`~repro.service.batcher.MicroBatcher.pop_expired`
             sheds by), or ``None`` when the item never expires.
         """
-        deadline = self.default_deadline if deadline is None else deadline
+        if deadline is not None:
+            deadline = float(deadline)
+            if deadline <= 0:
+                raise SimulationError(
+                    f"deadline must be > 0 seconds, got {deadline}")
+            if self.default_deadline is not None:
+                deadline = min(deadline, self.default_deadline)
+        else:
+            deadline = self.default_deadline
         if deadline is None:
             return None
-        deadline = float(deadline)
-        if deadline <= 0:
-            raise SimulationError(
-                f"deadline must be > 0 seconds, got {deadline}")
         now = self._clock() if now is None else now
         return now + deadline

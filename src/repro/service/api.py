@@ -76,7 +76,7 @@ import threading
 import time
 from concurrent.futures import Future, InvalidStateError
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -190,6 +190,16 @@ class ServiceStats:
       :meth:`~repro.service.transport.TransportStats.counters`
       snapshot (batches carried, bytes each way, and — for shared
       memory — segment created/reused/unlinked/live counts).
+
+    ``submitted_by_tenant`` splits the submission counter per tenant
+    label (submissions without a tenant are not listed); the gateway's
+    own :meth:`~repro.service.gateway.AsyncGateway.stats` adds the
+    full per-tenant outcome ledger on top of this service-side view.
+
+    The whole snapshot is taken under the service's dispatch lock, so
+    the :attr:`accounted` identity holds for *every* returned value —
+    a reader hammering :meth:`JacobiService.stats` mid-burst can never
+    observe a half-moved ledger entry.
     """
 
     submitted: int
@@ -215,6 +225,7 @@ class ServiceStats:
     solve_latency_by_kind: Dict[str, float]
     transport: str
     transport_counters: Dict[str, int]
+    submitted_by_tenant: Dict[str, int] = field(default_factory=dict)
 
     @property
     def accounted(self) -> int:
@@ -234,6 +245,7 @@ class _Item:
     future: "Future[SolveResult]"
     req: int = -1
     kind: str = "eigen"
+    tenant: Optional[str] = None
 
 
 class JacobiService:
@@ -419,6 +431,7 @@ class JacobiService:
         self._pending_remote: Dict["Future[Any]", List["_Item"]] = {}
         self._flushes = {cause: 0 for cause in FLUSH_CAUSES}
         self._submitted_by_kind = {kind: 0 for kind in KINDS}
+        self._submitted_by_tenant: Dict[str, int] = {}
         self._batched_items = 0
         self._first_submit: Optional[float] = None
         self._next_request = 0
@@ -466,7 +479,8 @@ class JacobiService:
     def submit(self, A: np.ndarray, *, kind: str = "eigen",
                ordering: Optional[str] = None,
                d: Optional[int] = None,
-               deadline: Optional[float] = None) -> "Future[Any]":
+               deadline: Optional[float] = None,
+               tenant: Optional[str] = None) -> "Future[Any]":
         """Queue one matrix; resolve to its per-matrix result.
 
         Parameters
@@ -489,7 +503,17 @@ class JacobiService:
             ``default_deadline``): if the item is still queued this
             long after submission, it is shed — the future resolves
             with :class:`~repro.errors.ShedError` instead of the item
-            occupying a batch.  ``None`` keeps the service default.
+            occupying a batch.  ``None`` keeps the service default;
+            when both are set the tighter of the two wins.
+        tenant:
+            Optional tenant label for multi-tenant accounting: counted
+            in ``ServiceStats.submitted_by_tenant`` and stamped as
+            ``tenant=`` on every trace event of this request, so
+            :class:`~repro.analysis.events.EventTimeline` (and
+            ``repro-jacobi trace-report``) can slice by tenant.  The
+            label never influences batching or solving — QoS policy
+            (quotas, priorities) lives in the
+            :class:`~repro.service.gateway.AsyncGateway` above.
 
         Returns
         -------
@@ -537,7 +561,7 @@ class JacobiService:
                     # n/m record the arrival's shape so a trace-driven
                     # replay can regenerate an equivalent workload.
                     self._tracer.emit("submit", request=req, kind=kind,
-                                      key=key,
+                                      key=key, tenant=tenant,
                                       meta={"deadline": deadline,
                                             "n": int(A.shape[0]),
                                             "m": int(A.shape[1])})
@@ -569,10 +593,14 @@ class JacobiService:
                         self._first_submit = self._clock()
                     self._submitted += 1
                     self._submitted_by_kind[kind] += 1
+                    if tenant is not None:
+                        self._submitted_by_tenant[tenant] = \
+                            self._submitted_by_tenant.get(tenant, 0) + 1
                     self._rejected += 1
                     if self._tracer is not None:
                         self._tracer.emit(
                             "rejected", request=req, kind=kind, key=key,
+                            tenant=tenant,
                             meta={"used": self._inflight,
                                   "max_queue": self._gate.max_queue,
                                   "policy": self._gate.policy})
@@ -583,22 +611,26 @@ class JacobiService:
                         f"({self._gate.policy} policy)")
                 if self._tracer is not None:
                     self._tracer.emit("admitted", request=req, kind=kind,
-                                      key=key)
+                                      key=key, tenant=tenant)
                 # Queue first, then move the counters: an exception
                 # from the batcher must not leak a phantom in-flight
                 # item that close() would wait on forever.
                 self._batcher.submit(
                     key, _Item(matrix=A, future=future, req=req,
-                               kind=kind),
+                               kind=kind, tenant=tenant),
                     expires=self._gate.expiry(deadline))
                 if self._first_submit is None:
                     self._first_submit = self._clock()
                 self._submitted += 1
                 self._submitted_by_kind[kind] += 1
+                if tenant is not None:
+                    self._submitted_by_tenant[tenant] = \
+                        self._submitted_by_tenant.get(tenant, 0) + 1
                 self._inflight += 1
                 if self._tracer is not None:
                     self._tracer.emit(
                         "enqueued", request=req, kind=kind, key=key,
+                        tenant=tenant,
                         meta={"queued": self._batcher.pending(),
                               "inflight": self._inflight})
                 self._ensure_thread()
@@ -668,7 +700,8 @@ class JacobiService:
         if self._tracer is not None:
             for key, item in dropped:
                 self._tracer.emit("expired", request=item.req,
-                                  kind=item.kind, key=key)
+                                  kind=item.kind, key=key,
+                                  tenant=item.tenant)
         self._shed += len(dropped)
         self._inflight -= len(dropped)
         if self._controller is not None:
@@ -694,7 +727,7 @@ class JacobiService:
                 pass  # caller cancelled the future; shed anyway
             if self._tracer is not None:
                 self._tracer.emit("shed", request=item.req,
-                                  kind=item.kind)
+                                  kind=item.kind, tenant=item.tenant)
 
     def _dispatch(self, event: FlushEvent) -> None:
         # Every exit of this method must settle or fail the items: an
@@ -709,7 +742,7 @@ class JacobiService:
             for item in items:
                 self._tracer.emit("flushed", request=item.req,
                                   kind=item.kind, key=event.key,
-                                  batch=event.batch,
+                                  batch=event.batch, tenant=item.tenant,
                                   meta={"cause": event.cause,
                                         "size": event.size})
         handle: Optional[Any] = None
@@ -743,6 +776,7 @@ class JacobiService:
                 for item in items:
                     self._tracer.emit("dispatched", request=item.req,
                                       kind=item.kind, batch=event.batch,
+                                      tenant=item.tenant,
                                       meta={"mode": mode})
             if use_pool:
                 fut = self._executor.submit(solve, wire)
@@ -841,7 +875,7 @@ class JacobiService:
             for item in items:
                 self._tracer.emit("solved", request=item.req,
                                   kind=item.kind, batch=batch,
-                                  worker=worker,
+                                  worker=worker, tenant=item.tenant,
                                   meta={"elapsed": elapsed})
         completed = 0
         cancelled = 0
@@ -865,18 +899,21 @@ class JacobiService:
                 break
             if self._tracer is not None:
                 self._tracer.emit("merged", request=item.req,
-                                  kind=item.kind, batch=batch)
+                                  kind=item.kind, batch=batch,
+                                  tenant=item.tenant)
             try:
                 item.future.set_result(result)
                 completed += 1
                 if self._tracer is not None:
                     self._tracer.emit("resolved", request=item.req,
-                                      kind=item.kind, batch=batch)
+                                      kind=item.kind, batch=batch,
+                                      tenant=item.tenant)
             except InvalidStateError:
                 cancelled += 1  # caller cancelled; result discarded
                 if self._tracer is not None:
                     self._tracer.emit("failed", request=item.req,
                                       kind=item.kind, batch=batch,
+                                      tenant=item.tenant,
                                       meta={"error": "cancelled"})
         with self._cond:
             self._completed += completed
@@ -900,6 +937,7 @@ class JacobiService:
             if self._tracer is not None:
                 self._tracer.emit("failed", request=item.req,
                                   kind=item.kind, batch=batch,
+                                  tenant=item.tenant,
                                   meta={"error": type(exc).__name__})
         with self._cond:
             self._failed += failed
@@ -908,6 +946,35 @@ class JacobiService:
             self._cond.notify_all()
 
     # ------------------------------------------------------------------
+    @property
+    def clock(self) -> Callable[[], float]:
+        """The service's monotonic time source — share it with
+        front-end layers (the async gateway's quota buckets) so one
+        fake clock pins every QoS decision end to end."""
+        return self._clock
+
+    @property
+    def tracer(self) -> Optional[Tracer]:
+        """The service's tracer, or ``None`` when tracing is off —
+        front-end layers emit their own stages (e.g. the gateway's
+        ``"throttled"``) into the same timeline."""
+        return self._tracer
+
+    @property
+    def admission(self) -> str:
+        """The active admission policy name (``"reject"`` /
+        ``"block"`` / ``"shed"``) — the gateway keeps a ``"block"``
+        service's potentially-blocking submits off the event loop."""
+        return self._gate.policy
+
+    def occupancy(self) -> Tuple[int, int]:
+        """Current ``(used, bound)`` against the admission gate:
+        queued-plus-in-flight items versus ``max_queue`` (0 means
+        unbounded).  Taken under the dispatch lock; the gateway's
+        priority headroom reads this without touching internals."""
+        with self._cond:
+            return self._inflight, self._gate.max_queue
+
     def stats(self) -> ServiceStats:
         """Snapshot the service counters.
 
@@ -917,10 +984,18 @@ class JacobiService:
             Queue/throughput counters plus — when the service is
             adaptive — the per-key limit overrides and the applied
             tuning trace, and the transport's data-plane counters
-            (see :class:`ServiceStats`).
+            (see :class:`ServiceStats`).  The snapshot is consistent:
+            every field is read in one critical section of the
+            dispatch lock (a mid-flush ``stats()`` call can never
+            violate the :attr:`ServiceStats.accounted` identity).
         """
-        tstats = self._transport.stats()
         with self._cond:
+            # The transport snapshot participates in the critical
+            # section: reading it outside would let a flush land
+            # between the two reads and skew counters against each
+            # other.  Lock order _cond -> transport lock is safe — the
+            # transport never takes the service lock.
+            tstats = self._transport.stats()
             elapsed = (0.0 if self._first_submit is None
                        else self._clock() - self._first_submit)
             batches = sum(self._flushes.values())
@@ -956,7 +1031,8 @@ class JacobiService:
                            if self._solved_batches[kind] else 0.0)
                     for kind in KINDS},
                 transport=tstats.name,
-                transport_counters=tstats.counters())
+                transport_counters=tstats.counters(),
+                submitted_by_tenant=dict(self._submitted_by_tenant))
 
     def trace(self) -> EventTimeline:
         """Export the recorded per-request event timeline.

@@ -1,0 +1,261 @@
+"""Tenancy primitives: quotas, priority classes, scoped configuration.
+
+The multi-tenant gateway (:mod:`repro.service.gateway`) keeps many
+tenants honest on one shared :class:`~repro.service.api.JacobiService`.
+This module holds the passive, clock-injected building blocks it
+polices with — nothing here spawns a thread, takes a lock, or reads
+wall-clock time on its own:
+
+* :class:`TokenBucket` — the per-tenant rate/burst quota.  Lazy refill
+  against an injected clock: ``tokens = min(burst, tokens + (now -
+  last) * rate)`` on every observation, so a fake clock pins every
+  admit/deny decision exactly.
+* :data:`PRIORITY_CLASSES` — the weighted priority classes
+  (``gold``/``silver``/``bronze``).  A class's weight scales how much
+  of the shared service's ``max_queue`` headroom its submissions may
+  occupy before the gateway turns them away — low-priority floods hit
+  the admission policy early, leaving reserved headroom for
+  high-priority tenants.
+* :class:`GatewayConfig` / :class:`ResolvedTenantConfig` —
+  deterministic scoped-override resolution.  Every knob resolves
+  through three scopes, most specific wins per field::
+
+      request overrides  >  tenant overrides  >  global defaults
+
+  Resolution is a pure function of the three mappings — it depends on
+  *which* scope set a field, never on the order the overrides were
+  written (``tests/test_property_tenancy.py`` pins the
+  order-independence property) — and each resolved field remembers the
+  scope it came from, so a trace of "why was this request throttled"
+  reads directly off the config.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from ..errors import SimulationError
+
+__all__ = ["PRIORITY_CLASSES", "TokenBucket", "ResolvedTenantConfig",
+           "GatewayConfig", "GLOBAL_DEFAULTS"]
+
+#: Weighted priority classes, heaviest first.  A submission of weight
+#: ``w`` may occupy at most ``max(1, floor(max_queue * w / W))`` of the
+#: shared service's queue bound (``W`` the heaviest weight), so bronze
+#: traffic saturates its slice (and starts getting rejected) while
+#: gold still has reserved headroom.  With an unbounded service
+#: (``max_queue=0``) weights change nothing.
+PRIORITY_CLASSES: Mapping[str, int] = MappingProxyType(
+    {"gold": 4, "silver": 2, "bronze": 1})
+
+#: Knobs a scope may set, with the built-in global defaults: ``rate``
+#: (tokens/second refill; ``None`` = no quota), ``burst`` (bucket
+#: capacity in requests), ``priority`` (a :data:`PRIORITY_CLASSES`
+#: name), ``deadline`` (default per-request deadline seconds; ``None``
+#: = none).  The defaults are deliberately "no QoS": a gateway built
+#: with a bare config admits exactly what the service would.
+GLOBAL_DEFAULTS: Mapping[str, Any] = MappingProxyType(
+    {"rate": None, "burst": 8, "priority": "gold", "deadline": None})
+
+
+class TokenBucket:
+    """A lazily-refilled token bucket against an injected clock.
+
+    Parameters
+    ----------
+    rate:
+        Tokens added per second (> 0).
+    burst:
+        Bucket capacity in tokens (>= 1); also the starting balance,
+        so a fresh tenant may burst up to ``burst`` requests at once.
+    clock:
+        Monotonic time source (injectable for tests).
+
+    The bucket never sleeps and keeps no timer: every observation
+    first credits ``(now - last) * rate`` tokens, capped at ``burst``.
+    Under a fake clock the admit/deny sequence for any arrival pattern
+    is exactly reproducible.
+    """
+
+    def __init__(self, rate: float, burst: int,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.rate = float(rate)
+        if self.rate <= 0:
+            raise SimulationError(
+                f"token bucket rate must be > 0 tokens/s, got {rate}")
+        self.burst = int(burst)
+        if self.burst < 1:
+            raise SimulationError(
+                f"token bucket burst must be >= 1, got {burst}")
+        self._clock = clock
+        self._tokens = float(self.burst)
+        self._last = clock()
+
+    def _refill(self, now: float) -> None:
+        if now > self._last:
+            self._tokens = min(float(self.burst),
+                               self._tokens + (now - self._last) * self.rate)
+        self._last = max(self._last, now)
+
+    def available(self, now: Optional[float] = None) -> float:
+        """Current token balance (after crediting elapsed refill).
+
+        ``now`` overrides the injected clock's reading for this call —
+        callers replaying recorded timelines pass explicit timestamps.
+        """
+        self._refill(self._clock() if now is None else now)
+        return self._tokens
+
+    def try_take(self, now: Optional[float] = None) -> bool:
+        """Spend one token if the balance allows; the deny path spends
+        nothing (a throttled tenant is not further penalised).  ``now``
+        overrides the injected clock's reading, as in :meth:`available`.
+        """
+        self._refill(self._clock() if now is None else now)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+
+@dataclass(frozen=True)
+class ResolvedTenantConfig:
+    """One tenant's effective knobs for one request, plus provenance.
+
+    Attributes
+    ----------
+    tenant:
+        The tenant label this resolution is for.
+    rate, burst, priority, deadline:
+        The effective knob values (see :data:`GLOBAL_DEFAULTS`).
+    sources:
+        ``field -> scope`` (``"global"`` / ``"tenant"`` /
+        ``"request"``): which scope each effective value came from.
+    """
+
+    tenant: str
+    rate: Optional[float]
+    burst: int
+    priority: str
+    deadline: Optional[float]
+    sources: Mapping[str, str]
+
+    @property
+    def weight(self) -> int:
+        """The priority class's weight (see :data:`PRIORITY_CLASSES`)."""
+        return PRIORITY_CLASSES[self.priority]
+
+
+def _validate_overrides(scope: str, overrides: Mapping[str, Any]
+                        ) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for name, value in overrides.items():
+        if name not in GLOBAL_DEFAULTS:
+            raise SimulationError(
+                f"unknown gateway knob {name!r} in {scope} overrides; "
+                f"known: {tuple(GLOBAL_DEFAULTS)}")
+        if name == "rate" and value is not None:
+            value = float(value)
+            if value <= 0:
+                raise SimulationError(
+                    f"rate must be > 0 tokens/s or None, got {value}")
+        elif name == "burst":
+            value = int(value)
+            if value < 1:
+                raise SimulationError(f"burst must be >= 1, got {value}")
+        elif name == "priority":
+            value = str(value)
+            if value not in PRIORITY_CLASSES:
+                raise SimulationError(
+                    f"unknown priority class {value!r}; known: "
+                    f"{tuple(PRIORITY_CLASSES)}")
+        elif name == "deadline" and value is not None:
+            value = float(value)
+            if value <= 0:
+                raise SimulationError(
+                    f"deadline must be > 0 seconds or None, got {value}")
+        out[name] = value
+    return out
+
+
+class GatewayConfig:
+    """Deterministic scoped configuration for the gateway.
+
+    Parameters
+    ----------
+    defaults:
+        Global-scope overrides of :data:`GLOBAL_DEFAULTS` (partial
+        mapping; unknown knobs and invalid values are rejected
+        eagerly).
+    tenants:
+        ``tenant -> partial overrides`` applied on top of the global
+        scope for that tenant's requests.
+
+    :meth:`resolve` is a pure function of the stored mappings and the
+    per-request overrides: for each knob the most specific scope that
+    set it wins (request > tenant > global), fields never interact,
+    and the outcome is independent of the order overrides were
+    supplied or configured.
+    """
+
+    def __init__(self, defaults: Optional[Mapping[str, Any]] = None,
+                 tenants: Optional[Mapping[str, Mapping[str, Any]]] = None
+                 ) -> None:
+        self._defaults = _validate_overrides(
+            "global", defaults if defaults is not None else {})
+        self._tenants: Dict[str, Dict[str, Any]] = {}
+        for tenant, overrides in (tenants or {}).items():
+            self._tenants[str(tenant)] = _validate_overrides(
+                f"tenant {tenant!r}", overrides)
+
+    def configure_tenant(self, tenant: str, **overrides: Any) -> None:
+        """Merge ``overrides`` into one tenant's scope (validated
+        eagerly; knobs not named keep their current resolution)."""
+        merged = dict(self._tenants.get(str(tenant), {}))
+        merged.update(_validate_overrides(f"tenant {tenant!r}",
+                                          overrides))
+        self._tenants[str(tenant)] = merged
+
+    def tenant_overrides(self, tenant: str) -> Mapping[str, Any]:
+        """The stored tenant-scope overrides (read-only view)."""
+        return MappingProxyType(self._tenants.get(str(tenant), {}))
+
+    def resolve(self, tenant: str,
+                request: Optional[Mapping[str, Any]] = None
+                ) -> ResolvedTenantConfig:
+        """Resolve one request's effective knobs.
+
+        Parameters
+        ----------
+        tenant:
+            The tenant label.
+        request:
+            Request-scope overrides (partial mapping; ``None`` values
+            mean "not set at this scope", so callers can pass keyword
+            arguments through unconditionally).
+
+        Returns
+        -------
+        ResolvedTenantConfig
+            Effective values with per-field scope provenance.
+        """
+        request_overrides = _validate_overrides(
+            "request",
+            {k: v for k, v in (request or {}).items() if v is not None})
+        tenant = str(tenant)
+        scopes = (("global", self._defaults),
+                  ("tenant", self._tenants.get(tenant, {})),
+                  ("request", request_overrides))
+        values = dict(GLOBAL_DEFAULTS)
+        sources = {name: "global" for name in GLOBAL_DEFAULTS}
+        for scope_name, overrides in scopes:
+            for name, value in overrides.items():
+                values[name] = value
+                sources[name] = scope_name
+        return ResolvedTenantConfig(
+            tenant=tenant, rate=values["rate"], burst=values["burst"],
+            priority=values["priority"], deadline=values["deadline"],
+            sources=MappingProxyType(sources))

@@ -88,6 +88,7 @@ class Tracer:
              key: Optional[Hashable] = None,
              batch: Optional[int] = None,
              worker: Optional[str] = None,
+             tenant: Optional[str] = None,
              meta: Optional[Dict[str, Any]] = None) -> None:
         """Record one event.
 
@@ -108,6 +109,11 @@ class Tracer:
         worker:
             Worker attribution (stringified pid or ``"inline"``) for
             solve events.
+        tenant:
+            Tenant label of the request, when multi-tenant accounting
+            is in play — lets
+            :meth:`~repro.analysis.events.EventTimeline.by_tenant`
+            slice one shared timeline per tenant.
         meta:
             Stage-specific details; stored as given (callers pass
             fresh dicts).
@@ -119,6 +125,7 @@ class Tracer:
             self._events.append(TraceEvent(
                 seq=self._seq, t=now, stage=stage, request=request,
                 kind=kind, key=key, batch=batch, worker=worker,
+                tenant=tenant,
                 meta=meta if meta is not None else {}))
             self._seq += 1
 

@@ -25,7 +25,8 @@ import pytest
 REPO = Path(__file__).resolve().parent.parent
 
 #: The documents whose python fences must execute.
-DOCS = ("README.md", "docs/architecture.md", "docs/tuning.md")
+DOCS = ("README.md", "docs/architecture.md", "docs/tuning.md",
+        "docs/tenancy.md")
 
 _FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
 
@@ -54,6 +55,7 @@ def test_readme_links_the_docs_pages():
     text = (REPO / "README.md").read_text(encoding="utf-8")
     assert "docs/architecture.md" in text
     assert "docs/tuning.md" in text
+    assert "docs/tenancy.md" in text
 
 
 @pytest.mark.parametrize("rel, code", _snippets())

@@ -1,0 +1,243 @@
+"""Property-based tenancy invariants (hypothesis).
+
+Three QoS laws that must hold for *every* schedule, not just the
+hand-picked ones in ``tests/test_gateway.py``:
+
+1. A :class:`TokenBucket` never over-admits: under any interleaving of
+   clock advances and take attempts, admissions never exceed the burst
+   capacity plus what the elapsed time refilled.
+2. The gateway's per-tenant ledger identity ``accounted == submitted``
+   holds after every step of any submit / resolve / shed / fail /
+   cancel interleaving.
+3. Scoped config resolution is a per-field fold, so it is independent
+   of the order overrides were configured in.
+
+Everything runs on the shared deterministic testkit — fake clocks and
+a hand-settled stub service — so hypothesis shrinks real schedules,
+not thread races.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from hypothesis import given, settings, strategies as st
+from testkit import FakeClock, StubService
+
+from repro.errors import QuotaExceeded
+from repro.service import AsyncGateway, GatewayConfig, TokenBucket
+
+# ----------------------------------------------------------------------
+# Law 1: the bucket never over-admits
+# ----------------------------------------------------------------------
+bucket_steps = st.lists(
+    st.one_of(
+        st.tuples(st.just("advance"),
+                  st.floats(min_value=0.0, max_value=5.0,
+                            allow_nan=False, allow_infinity=False)),
+        st.tuples(st.just("take"), st.integers(min_value=1, max_value=8)),
+    ),
+    max_size=40)
+
+
+@settings(max_examples=200, deadline=None)
+@given(rate=st.floats(min_value=0.1, max_value=50.0),
+       burst=st.integers(min_value=1, max_value=16),
+       steps=bucket_steps)
+def test_bucket_never_over_admits(rate, burst, steps):
+    clock = FakeClock()
+    bucket = TokenBucket(rate=rate, burst=burst, clock=clock)
+    admitted = 0
+    elapsed = 0.0
+    for op, arg in steps:
+        if op == "advance":
+            clock.advance(arg)
+            elapsed += arg
+        else:
+            for _ in range(arg):
+                if bucket.try_take():
+                    admitted += 1
+        # The bucket can never have handed out more tokens than it
+        # ever held: the initial burst plus everything refilled.
+        assert admitted <= burst + elapsed * rate + 1e-6
+        assert 0.0 <= bucket.available() <= burst + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(rate=st.floats(min_value=0.1, max_value=50.0),
+       burst=st.integers(min_value=1, max_value=16),
+       dts=st.lists(st.floats(min_value=-2.0, max_value=2.0,
+                              allow_nan=False, allow_infinity=False),
+                    max_size=20))
+def test_bucket_is_monotone_against_clock_retreat(rate, burst, dts):
+    """A (buggy or rewound) clock moving backwards must never mint
+    tokens or corrupt the bucket's bounds."""
+    clock = FakeClock()
+    bucket = TokenBucket(rate=rate, burst=burst, clock=clock)
+    bucket.try_take()
+    for dt in dts:
+        clock.t += dt  # may go backwards; bucket must stay sane
+        assert 0.0 <= bucket.available() <= burst + 1e-9
+        bucket.try_take()
+
+
+# ----------------------------------------------------------------------
+# Law 2: the tenant ledger identity survives any interleaving
+# ----------------------------------------------------------------------
+TENANTS = ("a", "b", "c")
+
+ledger_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("submit"), st.sampled_from(TENANTS)),
+        st.tuples(st.just("resolve"), st.integers(0, 30)),
+        st.tuples(st.just("shed"), st.integers(0, 30)),
+        st.tuples(st.just("fail"), st.integers(0, 30)),
+        st.tuples(st.just("cancel"), st.integers(0, 30)),
+        st.tuples(st.just("advance"),
+                  st.floats(min_value=0.0, max_value=1.0,
+                            allow_nan=False, allow_infinity=False)),
+    ),
+    max_size=60)
+
+
+def _assert_ledger_identity(gw):
+    stats = gw.stats()
+    for tenant, ts in stats.tenants.items():
+        assert ts.accounted == ts.submitted, (tenant, ts)
+    assert stats.total.accounted == stats.total.submitted
+
+
+@settings(max_examples=150, deadline=None)
+@given(ops=ledger_ops, quota=st.booleans())
+def test_ledger_identity_under_arbitrary_interleavings(ops, quota):
+    clock = FakeClock()
+    svc = StubService(clock=clock)
+    config = GatewayConfig(
+        tenants={"a": {"rate": 2.0, "burst": 2}}) if quota \
+        else GatewayConfig()
+    gw = AsyncGateway(svc, config)
+
+    async def main():
+        tasks = []
+        for op, arg in ops:
+            if op == "submit":
+                tasks.append(asyncio.ensure_future(
+                    gw.submit("A", tenant=arg)))
+                await asyncio.sleep(0)  # run up to the await point
+            elif op == "advance":
+                clock.advance(arg)
+            elif arg < len(svc.calls):
+                call = svc.calls[arg]
+                if op == "resolve":
+                    svc.resolve(arg)
+                elif op == "shed":
+                    svc.shed(arg)
+                elif op == "fail":
+                    svc.fail(arg)
+                else:
+                    call["future"].cancel()
+            _assert_ledger_identity(gw)
+        for i in range(len(svc.calls)):
+            svc.resolve(i)  # settle stragglers (InvalidState is legal)
+        results = await asyncio.gather(*tasks, return_exceptions=True)
+        return results
+
+    asyncio.run(main())
+    _assert_ledger_identity(gw)
+    stats = gw.stats()
+    assert stats.total.pending == 0
+    # every service-side submission is one non-throttled gateway admit
+    assert len(svc.calls) == stats.total.submitted \
+        - stats.total.throttled - stats.total.rejected
+
+
+@settings(max_examples=50, deadline=None)
+@given(attempts=st.integers(min_value=1, max_value=12),
+       burst=st.integers(min_value=1, max_value=6))
+def test_throttles_and_admits_partition_the_burst(attempts, burst):
+    """With no refill possible (fake clock frozen), exactly ``burst``
+    of any ``attempts`` submissions are admitted — the rest throttle,
+    and both outcomes land in the ledger."""
+    svc = StubService()
+    gw = AsyncGateway(svc, GatewayConfig(
+        tenants={"t": {"rate": 0.001, "burst": burst}}))
+
+    async def main():
+        tasks = []
+        for _ in range(attempts):
+            try:
+                tasks.append(asyncio.ensure_future(
+                    gw.submit("A", tenant="t")))
+                await asyncio.sleep(0)
+            except QuotaExceeded:
+                pass
+        for i in range(len(svc.calls)):
+            svc.resolve(i)
+        await asyncio.gather(*tasks, return_exceptions=True)
+
+    asyncio.run(main())
+    ts = gw.stats().tenants["t"]
+    assert ts.submitted == attempts
+    assert ts.completed == min(attempts, burst)
+    assert ts.throttled == max(0, attempts - burst)
+    assert ts.accounted == ts.submitted
+
+
+# ----------------------------------------------------------------------
+# Law 3: config resolution is order-independent
+# ----------------------------------------------------------------------
+knob_values = {
+    "rate": st.one_of(st.none(),
+                      st.floats(min_value=0.1, max_value=100.0)),
+    "burst": st.integers(min_value=1, max_value=64),
+    "priority": st.sampled_from(["gold", "silver", "bronze"]),
+    "deadline": st.one_of(st.none(),
+                          st.floats(min_value=0.01, max_value=10.0)),
+}
+
+overrides = st.dictionaries(
+    st.sampled_from(sorted(knob_values)), st.none(), max_size=4,
+).flatmap(lambda keys: st.fixed_dictionaries(
+    {k: knob_values[k] for k in keys}))
+
+
+@settings(max_examples=150, deadline=None)
+@given(defaults=overrides, tenant=overrides, req=overrides,
+       order=st.permutations(list(range(4))))
+def test_resolution_is_independent_of_configure_order(
+        defaults, tenant, req, order):
+    baseline = GatewayConfig(defaults=defaults,
+                             tenants={"t": tenant})
+    expected = baseline.resolve("t", req)
+
+    # Same scopes, fields configured one at a time in shuffled order.
+    shuffled = GatewayConfig(defaults=defaults)
+    items = list(tenant.items())
+    for idx in order:
+        if idx < len(items):
+            key, value = items[idx]
+            shuffled.configure_tenant("t", **{key: value})
+    got = shuffled.resolve("t", req)
+
+    assert (got.rate, got.burst, got.priority, got.deadline) \
+        == (expected.rate, expected.burst, expected.priority,
+            expected.deadline)
+    assert dict(got.sources) == dict(expected.sources)
+
+
+@settings(max_examples=100, deadline=None)
+@given(tenant=overrides, req=overrides)
+def test_resolution_respects_scope_precedence_per_field(tenant, req):
+    cfg = GatewayConfig(tenants={"t": tenant})
+    resolved = cfg.resolve("t", req)
+    request_set = {k for k, v in req.items() if v is not None}
+    for knob in ("rate", "burst", "priority", "deadline"):
+        source = resolved.sources[knob]
+        if knob in request_set:
+            assert source == "request"
+            assert getattr(resolved, knob) == req[knob]
+        elif knob in tenant:
+            assert source == "tenant"
+            assert getattr(resolved, knob) == tenant[knob]
+        else:
+            assert source == "global"

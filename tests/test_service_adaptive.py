@@ -12,9 +12,10 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from testkit import FakeClock, ManualExecutor, make_matrices as _mats
 
 from repro.errors import SimulationError
-from repro.jacobi import ParallelOneSidedJacobi, make_symmetric_test_matrix
+from repro.jacobi import ParallelOneSidedJacobi
 from repro.orderings import get_ordering
 from repro.service import (
     AdaptiveController,
@@ -24,17 +25,6 @@ from repro.service import (
     TuningBounds,
 )
 from repro.service.batcher import FlushEvent
-
-
-class FakeClock:
-    def __init__(self, t: float = 0.0) -> None:
-        self.t = t
-
-    def __call__(self) -> float:
-        return self.t
-
-    def advance(self, dt: float) -> None:
-        self.t += dt
 
 
 @pytest.fixture
@@ -284,11 +274,6 @@ class TestController:
             AdaptiveController(window=0, clock=clock)
 
 
-def _mats(m, count, seed=0):
-    return [make_symmetric_test_matrix(m, rng=(seed, k))
-            for k in range(count)]
-
-
 class TestServiceIntegration:
     """adaptive=True on the real service: tuning visible in stats(),
     results still bit-identical to the sequential solver."""
@@ -375,51 +360,6 @@ class TestNonAdaptiveRegression:
             assert a.sweeps == b.sweeps
 
 
-class _ManualExecutor:
-    """Pool stand-in whose futures the test resolves by hand, making
-    the dispatcher's sleep/wake behaviour observable: a dispatched
-    flush sits unresolved until the test computes it, exactly like a
-    busy worker process."""
-
-    uses_processes = True
-    broken = False
-
-    def __init__(self):
-        import threading
-
-        self.calls = []
-        self.auto = False  # teardown mode: resolve on submit
-        self._cond = threading.Condition()
-
-    def submit(self, fn, *args):
-        from concurrent.futures import Future
-
-        fut = Future()
-        with self._cond:
-            self.calls.append((fn, args, fut))
-            self._cond.notify_all()
-        if self.auto:
-            fut.set_result(fn(*args))
-        return fut
-
-    def wait_for_calls(self, n, timeout):
-        with self._cond:
-            return self._cond.wait_for(lambda: len(self.calls) >= n,
-                                       timeout)
-
-    def resolve_all(self):
-        """Compute every unresolved dispatched flush inline (runs the
-        service's completion callbacks on this thread)."""
-        with self._cond:
-            pending = [(fn, args, fut) for fn, args, fut in self.calls
-                       if not fut.done()]
-        for fn, args, fut in pending:
-            fut.set_result(fn(*args))
-
-    def shutdown(self, wait=True):
-        pass
-
-
 class TestRetuneWakesDispatcher:
     """Regression (ISSUE 8): ``_observe`` must notify the service
     condition when a retune shrinks a key's max_delay — a dispatcher
@@ -439,7 +379,7 @@ class TestRetuneWakesDispatcher:
         # drifts closer.  Only a condition notify can release the
         # dispatcher early — which is exactly what the retune must do.
         clock = FakeClock()
-        ex = _ManualExecutor()
+        ex = ManualExecutor()
         key = ("eigen", 8, "degree4", 1)
         svc = JacobiService(
             d=1, max_batch=2, max_delay=5.0, adaptive=True,

@@ -11,14 +11,14 @@ from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import Future
 from concurrent.futures.process import BrokenProcessPool
 
 import numpy as np
 import pytest
+from testkit import FakeClock, HangingExecutor, make_matrices as _mats
 
 from repro.errors import AdmissionError, QueueFull, ShedError, SimulationError
-from repro.jacobi import ParallelOneSidedJacobi, make_symmetric_test_matrix
+from repro.jacobi import ParallelOneSidedJacobi
 from repro.orderings import get_ordering
 from repro.service import (
     ADMISSION_POLICIES,
@@ -26,22 +26,6 @@ from repro.service import (
     JacobiService,
     MicroBatcher,
 )
-
-
-def _mats(m, count, seed=0):
-    return [make_symmetric_test_matrix(m, rng=(seed, k))
-            for k in range(count)]
-
-
-class FakeClock:
-    def __init__(self, t=0.0):
-        self.t = t
-
-    def __call__(self):
-        return self.t
-
-    def advance(self, dt):
-        self.t += dt
 
 
 # ----------------------------------------------------------------------
@@ -97,6 +81,32 @@ class TestAdmissionGate:
             gate.expiry(deadline=-1.0)
         no_default = AdmissionGate(clock=clock)
         assert no_default.expiry() is None
+
+    def test_expiry_honours_tighter_of_default_and_override(self):
+        """Regression: a per-request deadline *looser* than the gate's
+        default used to replace it wholesale, letting one request
+        outlive the service-wide shed policy.  The tighter of the two
+        must win, in either direction."""
+        clock = FakeClock(10.0)
+        gate = AdmissionGate(max_queue=2, policy="shed",
+                             default_deadline=0.5, clock=clock)
+        assert gate.expiry(deadline=2.0) == pytest.approx(10.5)  # default tighter
+        assert gate.expiry(deadline=0.1) == pytest.approx(10.1)  # override tighter
+        assert gate.expiry(deadline=0.5) == pytest.approx(10.5)  # tie
+
+    def test_loose_override_still_sheds_at_default_deadline(self):
+        """End to end through the batcher: an item submitted with a
+        loose per-request deadline expires at the gate default."""
+        clock = FakeClock()
+        gate = AdmissionGate(policy="shed", default_deadline=1.0,
+                             clock=clock)
+        b = MicroBatcher(max_batch=10, max_delay=60.0, clock=clock)
+        b.submit("k", "loose", expires=gate.expiry(deadline=30.0))
+        b.submit("k", "tight", expires=gate.expiry(deadline=0.25))
+        clock.advance(0.5)
+        assert b.pop_expired() == [("k", "tight")]
+        clock.advance(1.0)  # past the 1.0s default, well before 30.0
+        assert b.pop_expired() == [("k", "loose")]
 
     def test_policies_registry_matches_errors(self):
         assert ADMISSION_POLICIES == ("reject", "block", "shed")
@@ -367,6 +377,44 @@ class TestStatsIdentity:
         assert st.submitted == 40  # every attempt counted somewhere
         assert st.rejected + st.shed > 0  # the run actually overloaded
 
+    def test_stats_hammered_from_another_thread_stays_consistent(self):
+        """Regression: the snapshot must be taken in *one* critical
+        section of the dispatch lock.  The transport counters used to
+        be read outside it, so a concurrent reader could observe a
+        flush landing between the two reads.  Hammer ``stats()`` from
+        a separate thread through a whole burst: every snapshot must
+        satisfy the ledger identity, and the transport's batch count
+        must never exceed the flush count seen in the same snapshot."""
+        stop = threading.Event()
+        problems: list = []
+
+        def hammer(svc):
+            while not stop.is_set():
+                st = svc.stats()
+                if st.accounted != st.submitted:
+                    problems.append(("ledger", st))
+                if st.transport_counters.get("batches", 0) > st.batches:
+                    problems.append(("transport-ahead", st))
+
+        with JacobiService(d=1, max_batch=4, max_delay=0.002,
+                           max_queue=8, admission="shed",
+                           default_deadline=0.01) as svc:
+            reader = threading.Thread(target=hammer, args=(svc,))
+            reader.start()
+            try:
+                for A in _mats(16, 60, seed=13):
+                    try:
+                        svc.submit(A)
+                    except QueueFull:
+                        pass
+            finally:
+                stop.set()
+                reader.join(timeout=30.0)
+        assert not reader.is_alive()
+        assert not problems, problems[:3]
+        st = svc.stats()
+        assert st.accounted == st.submitted
+
 
 # ----------------------------------------------------------------------
 class TestOverloadSafeShutdown:
@@ -375,17 +423,6 @@ class TestOverloadSafeShutdown:
         so a pool whose future never resolves hung it forever.  A
         broken executor's stranded in-flight items must instead fail
         with BrokenProcessPool."""
-
-        class HangingExecutor:
-            uses_processes = True
-            broken = False
-
-            def submit(self, fn, *args):
-                return Future()  # never resolves
-
-            def shutdown(self, wait=True):
-                pass
-
         pool = HangingExecutor()
         svc = JacobiService(d=1, max_batch=1, max_delay=0.0,
                             workers=2, executor=pool)

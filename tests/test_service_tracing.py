@@ -12,10 +12,10 @@ from __future__ import annotations
 import os
 
 import pytest
+from testkit import FakeClock, make_matrices as _mats
 
 from repro.analysis.events import validate_lifecycles
 from repro.errors import QueueFull, ShedError, SimulationError
-from repro.jacobi import make_symmetric_test_matrix
 from repro.service import (
     DEFAULT_TRACE_CAPACITY,
     NULL_TRACER,
@@ -24,22 +24,6 @@ from repro.service import (
     Tracer,
     resolve_tracer,
 )
-
-
-def _mats(m, count, seed=0):
-    return [make_symmetric_test_matrix(m, rng=(seed, k))
-            for k in range(count)]
-
-
-class FakeClock:
-    def __init__(self, t=0.0):
-        self.t = t
-
-    def __call__(self):
-        return self.t
-
-    def advance(self, dt):
-        self.t += dt
 
 
 # ----------------------------------------------------------------------
